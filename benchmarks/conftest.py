@@ -1,0 +1,38 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables/figures: it runs the
+corresponding experiment once (timed by pytest-benchmark), prints the same
+rows/series the paper reports, archives them under
+``benchmarks/results/``, and asserts the *shape* criteria — who wins, by
+roughly what factor — that the reproduction is expected to preserve.
+
+The system scale is controlled by the ``REPRO_PRESET`` environment
+variable (``quick`` default, ``full`` for the EXPERIMENTS.md numbers).
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def archive(capsys):
+    """Returns a writer that prints a table and archives it to results/."""
+
+    def write(name, title, text):
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        body = "%s\n%s\n" % (title, text)
+        with open(os.path.join(RESULTS_DIR, name + ".txt"), "w") as handle:
+            handle.write(body)
+        with capsys.disabled():
+            print()
+            print(body)
+
+    return write
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time one execution of an experiment and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,37 @@
+"""Ablation: ACS-gap (deferred persistency vs bandwidth).
+
+Deferring persistency lets ACS skip lines rewritten within the gap ("ACS
+can be delayed by a few epochs to save even more bandwidth"), at the cost
+of a recovery point that lags further behind.
+"""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+from repro.experiments.presets import get_preset
+
+
+def test_ablation_acs_gap(benchmark, archive):
+    preset = get_preset()
+    sweep = run_once(benchmark, ablations.sweep_acs_gap, preset)
+    archive(
+        "ablation_acs_gap",
+        "Ablation: PiCL overhead and ACS write volume vs ACS-gap "
+        "(preset=%s)" % preset.name,
+        ablations.format_sweep(sweep, "overhead", "acs_gap", "x")
+        + "\n\nACS in-place writebacks:\n"
+        + ablations.format_sweep(sweep, "acs_writebacks", "acs_gap", "ops"),
+    )
+    gaps = sorted(sweep)
+    for gap in gaps:
+        for bench_name, row in sweep[gap].items():
+            # Gap 0 persists every epoch's whole write set in place —
+            # heavier on bandwidth; any nonzero gap is near-free.
+            limit = 1.6 if gap == 0 else 1.10
+            assert row["overhead"] < limit, (gap, bench_name)
+    # A larger gap never *increases* ACS write volume: lines rewritten
+    # within the window are persisted once, not per epoch.
+    for bench_name in sweep[gaps[0]]:
+        first = sweep[gaps[0]][bench_name]["acs_writebacks"]
+        last = sweep[gaps[-1]][bench_name]["acs_writebacks"]
+        assert last <= first * 1.1, bench_name

@@ -1,0 +1,36 @@
+"""Ablation: bloom filter sizing.
+
+The eviction-hazard filter trades bits for spurious flushes: at the
+paper's 4096 bits (vs a 32-entry buffer) false positives are negligible;
+tiny filters force the undo buffer to flush on unrelated evictions.
+"""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+from repro.experiments.presets import get_preset
+
+
+def test_ablation_bloom(benchmark, archive):
+    preset = get_preset()
+    sweep = run_once(benchmark, ablations.sweep_bloom_bits, preset)
+    archive(
+        "ablation_bloom",
+        "Ablation: forced undo-buffer flushes vs bloom filter bits "
+        "(preset=%s)" % preset.name,
+        ablations.format_sweep(sweep, "forced_flushes", "bloom_bits", "count")
+        + "\n\nFalse positives:\n"
+        + ablations.format_sweep(sweep, "false_positives", "bloom_bits", "count"),
+    )
+    sizes = sorted(sweep)
+    smallest, largest = sizes[0], sizes[-1]
+    totals = {
+        size: sum(row["false_positives"] for row in sweep[size].values())
+        for size in sizes
+    }
+    # Tiny filters produce (many) more false positives than the paper's.
+    assert totals[smallest] > totals[largest]
+    # At 4096 bits, false positives are negligible relative to evictions.
+    forced_large = sum(row["forced_flushes"] for row in sweep[largest].values())
+    fp_large = totals[largest]
+    assert fp_large <= forced_large  # false positives are a subset

@@ -1,0 +1,35 @@
+"""Ablation: epoch length.
+
+"PiCL is generally agnostic to checkpoint lengths and has reliable
+performance when using checkpoints of up to 100ms" — and unlike the redo
+schemes it *benefits* from longer epochs (fewer cross-epoch stores means
+less logging).
+"""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+from repro.experiments.presets import get_preset
+
+
+def test_ablation_epoch_length(benchmark, archive):
+    preset = get_preset()
+    sweep = run_once(benchmark, ablations.sweep_epoch_length, preset)
+    archive(
+        "ablation_epoch_length",
+        "Ablation: PiCL overhead and log volume vs epoch length "
+        "(multiples of the 30M-instruction default; preset=%s)" % preset.name,
+        ablations.format_sweep(sweep, "overhead", "epoch_x", "x")
+        + "\n\nLog bytes appended:\n"
+        + ablations.format_sweep(sweep, "log_bytes", "epoch_x", "bytes"),
+    )
+    multipliers = sorted(sweep)
+    # Reliable performance at every epoch length, short to very long.
+    for multiplier in multipliers:
+        for bench_name, row in sweep[multiplier].items():
+            assert row["overhead"] < 1.10, (multiplier, bench_name)
+    # Longer epochs log less (fewer epoch boundaries to cross).
+    for bench_name in sweep[multipliers[0]]:
+        short = sweep[multipliers[0]][bench_name]["log_bytes"]
+        long_ = sweep[multipliers[-1]][bench_name]["log_bytes"]
+        assert long_ <= short, bench_name

@@ -1,0 +1,39 @@
+"""Ablation: tracking granularity (64 B default vs OpenPiton's 16 B).
+
+The prototype's 16 B sub-blocks quadruple the EID tags but shrink each
+undo entry; whether the log grows or shrinks depends on how many
+sub-blocks of a line each epoch actually touches.
+"""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+from repro.experiments.presets import get_preset
+
+
+def test_ablation_granularity(benchmark, archive):
+    preset = get_preset()
+    sweep = run_once(benchmark, ablations.sweep_granularity, preset)
+    archive(
+        "ablation_granularity",
+        "Ablation: PiCL with 64B vs 16B tracking granularity (preset=%s)"
+        % preset.name,
+        ablations.format_sweep(sweep, "overhead", "granularity", "x")
+        + "\n\nUndo entries created:\n"
+        + ablations.format_sweep(sweep, "entries", "granularity", "count")
+        + "\n\nLog bytes appended:\n"
+        + ablations.format_sweep(sweep, "log_bytes", "granularity", "bytes"),
+    )
+    for granularity in (64, 16):
+        for bench_name, row in sweep[granularity].items():
+            assert row["overhead"] < 1.10, (granularity, bench_name)
+    for bench_name in sweep[64]:
+        # Sub-block tracking creates at least as many entries...
+        assert (
+            sweep[16][bench_name]["entries"] >= sweep[64][bench_name]["entries"]
+        ), bench_name
+        # ...but each is smaller, so log volume does not blow up 4x.
+        assert (
+            sweep[16][bench_name]["log_bytes"]
+            < sweep[64][bench_name]["log_bytes"] * 2
+        ), bench_name

@@ -1,0 +1,36 @@
+"""Ablation: on-chip undo buffer size.
+
+The paper sizes the buffer at 2 KB / 32 entries "to match the NVM row
+buffers"; smaller buffers flush sub-row bursts more often, larger ones
+add little ("performance degradation ... can occur with a very large
+on-chip undo buffer, but it is minimal at 2KB").
+"""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+from repro.experiments.presets import get_preset
+
+
+def test_ablation_undo_buffer(benchmark, archive):
+    preset = get_preset()
+    sweep = run_once(benchmark, ablations.sweep_undo_buffer, preset)
+    archive(
+        "ablation_undo_buffer",
+        "Ablation: PiCL overhead and flush count vs undo-buffer entries "
+        "(preset=%s)" % preset.name,
+        ablations.format_sweep(sweep, "overhead", "entries", "x")
+        + "\n\nBuffer flushes:\n"
+        + ablations.format_sweep(sweep, "buffer_flushes", "entries", "count"),
+    )
+    sizes = sorted(sweep)
+    # Smaller buffers flush more often.
+    for bench_name in sweep[sizes[0]]:
+        small = sweep[sizes[0]][bench_name]["buffer_flushes"]
+        large = sweep[sizes[-1]][bench_name]["buffer_flushes"]
+        assert small > large, bench_name
+    # Performance stays unharmed across the whole range (coalescing keeps
+    # every flush sequential even when small).
+    for size in sizes:
+        for bench_name, row in sweep[size].items():
+            assert row["overhead"] < 1.12, (size, bench_name)

@@ -1,0 +1,43 @@
+"""Fig 9: single-core execution time normalized to Ideal NVM.
+
+Shape criteria (paper): PiCL ≈ 1.0x everywhere (worst case a few percent);
+every prior scheme costs measurably more, with Journaling's overflow-prone
+cases the worst (the paper's worst single-core case is ~10.7x).
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig09
+from repro.experiments.presets import get_preset
+from repro.experiments.report import geomean
+
+
+def test_fig09_single_core(benchmark, archive):
+    preset = get_preset()
+    normalized = run_once(benchmark, fig09.run, preset)
+    archive(
+        "fig09_single_core",
+        "Fig 9: single-core execution time normalized to Ideal NVM "
+        "(preset=%s, lower is better)" % preset.name,
+        fig09.format_result(normalized),
+    )
+    gmeans = {
+        scheme: geomean(row[scheme] for row in normalized.values())
+        for scheme in fig09.SCHEMES
+    }
+    # PiCL: "almost no overhead" — under 5% at the geomean, and the best
+    # scheme overall.
+    assert gmeans["picl"] < 1.05
+    assert gmeans["picl"] == min(gmeans.values())
+    # Prior work pays real overheads.
+    assert gmeans["journaling"] > 1.5
+    assert gmeans["frm"] > 1.1
+    assert gmeans["shadow"] > 1.1
+    # Worst cases are multiples, like the paper's 10.7x outliers.
+    worst = max(
+        row[scheme] for row in normalized.values() for scheme in fig09.SCHEMES
+    )
+    assert worst > 3.0
+    # PiCL's own worst case stays within a few percent (sphinx3-like cases).
+    picl_worst = max(row["picl"] for row in normalized.values())
+    assert picl_worst < 1.15

@@ -1,0 +1,39 @@
+"""Fig 10: eight-thread multiprogram mixes W0-W7.
+
+Shape criteria (paper): prior work costs 1.6x-2.6x on the mixes; PiCL
+stays at ~1.0x.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig10
+from repro.experiments.presets import get_preset
+from repro.experiments.report import geomean
+
+
+def test_fig10_multicore(benchmark, archive):
+    preset = get_preset()
+    normalized = run_once(benchmark, fig10.run, preset)
+    archive(
+        "fig10_multicore",
+        "Fig 10: 8-thread multiprogram execution normalized to Ideal NVM "
+        "(preset=%s, lower is better)" % preset.name,
+        fig10.format_result(normalized),
+    )
+    gmeans = {
+        scheme: geomean(row[scheme] for row in normalized.values())
+        for scheme in fig10.SCHEMES
+    }
+    assert gmeans["picl"] < 1.05
+    assert gmeans["picl"] == min(gmeans.values())
+    # Each prior scheme costs real overhead on the mixes.
+    for scheme in ("journaling", "shadow", "frm", "thynvm"):
+        assert gmeans[scheme] > 1.1, scheme
+    # The worst prior-work mix lands in (or beyond) the paper's 1.6-2.6x.
+    worst_prior = max(
+        row[scheme]
+        for row in normalized.values()
+        for scheme in fig10.SCHEMES
+        if scheme != "picl"
+    )
+    assert worst_prior > 1.6

@@ -1,0 +1,41 @@
+"""Fig 11: commits per default epoch interval.
+
+Shape criteria (paper): PiCL (undo-based) always commits exactly once per
+interval; Journaling overflows its translation table and commits an order
+of magnitude more often on write-heavy workloads; Shadow-Paging sits in
+between, helped by page-granularity entries on sequential writers and
+hurt on scattered ones (astar).
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig11
+from repro.experiments.presets import get_preset
+from repro.experiments.report import geomean
+
+
+def test_fig11_commits(benchmark, archive):
+    preset = get_preset()
+    commits = run_once(benchmark, fig11.run, preset)
+    archive(
+        "fig11_commits",
+        "Fig 11: commits per default epoch interval (preset=%s, 1.0 = never "
+        "forced)" % preset.name,
+        fig11.format_result(commits),
+    )
+    # Undo-based PiCL never overflows: exactly one commit per interval.
+    for bench_name, row in commits.items():
+        assert row["picl"] == 1.0, bench_name
+    # Journaling's forced commits are an order of magnitude beyond PiCL's.
+    j_gmean = geomean(row["journaling"] for row in commits.values())
+    assert j_gmean > 5.0
+    worst_journal = max(row["journaling"] for row in commits.values())
+    assert worst_journal > 16.0
+    # Shadow tracks 64 lines per entry, so it commits less than Journaling.
+    s_gmean = geomean(row["shadow"] for row in commits.values())
+    assert s_gmean < j_gmean
+    # Compute-bound write sets fit the table ("tracked quite consistently").
+    assert commits["gamess"]["journaling"] < 4.0
+    assert commits["povray"]["journaling"] < 4.0
+    # Sequential writes favor Shadow-Paging (mcf).
+    assert commits["mcf"]["shadow"] < commits["mcf"]["journaling"] / 4

@@ -1,0 +1,32 @@
+"""Fig 13: PiCL undo-log size for eight epochs.
+
+Shape criteria (paper): compute-bound workloads log a trickle; the
+heaviest streamers stay "within a few hundreds of megabytes, well within
+the capacity of NVM storages."
+"""
+
+from conftest import run_once
+
+from repro.common.units import GB
+from repro.experiments import fig13
+from repro.experiments.presets import get_preset
+
+
+def test_fig13_log_size(benchmark, archive):
+    preset = get_preset()
+    log_mb = run_once(benchmark, fig13.run, preset)
+    archive(
+        "fig13_log_size",
+        "Fig 13: PiCL undo log size for 8 epochs (preset=%s; model scale "
+        "and linear extrapolation)" % preset.name,
+        fig13.format_result(log_mb),
+    )
+    extrapolated = {name: mb for name, (_raw, mb) in log_mb.items()}
+    # Compute-bound workloads log orders of magnitude less than streamers.
+    for light in ("gamess", "povray"):
+        for heavy in ("lbm", "GemsFDTD", "milc"):
+            assert extrapolated[light] < extrapolated[heavy] / 20
+    # Even the heaviest logger stays within NVM capacities (< 1 GB/8 epochs).
+    assert max(extrapolated.values()) < GB / (1024 * 1024)
+    # Everything logs something: crash consistency is never free.
+    assert min(raw for raw, _mb in log_mb.values()) > 0

@@ -1,0 +1,37 @@
+"""Fig 15: sensitivity to LLC size.
+
+Shape criteria (paper): flush-based schemes degrade as the cache (and so
+the flush volume) grows; ThyNVM degrades fastest (redo-buffer pressure);
+PiCL stays flat at ~1.0x across all sizes.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig15
+from repro.experiments.presets import get_preset
+
+
+def test_fig15_cache_sweep(benchmark, archive):
+    preset = get_preset()
+    sweep = run_once(benchmark, fig15.run, preset)
+    base_kb = preset.config().llc_size_per_core // 1024
+    archive(
+        "fig15_cache_sweep",
+        "Fig 15: gmean normalized execution vs LLC size (preset=%s, lower "
+        "is better)" % preset.name,
+        fig15.format_result(sweep, base_kb),
+    )
+    multipliers = sorted(sweep)
+    smallest, largest = multipliers[0], multipliers[-1]
+    # PiCL is flat across cache sizes.
+    for multiplier in multipliers:
+        assert sweep[multiplier]["picl"] < 1.06
+    # Synchronous-flush schemes get *worse* with bigger caches.
+    assert sweep[largest]["frm"] > sweep[smallest]["frm"]
+    # ThyNVM's overhead grows faster than FRM's (redo-buffer pressure).
+    thynvm_growth = sweep[largest]["thynvm"] / sweep[smallest]["thynvm"]
+    frm_growth = sweep[largest]["frm"] / sweep[smallest]["frm"]
+    assert thynvm_growth > frm_growth * 0.9
+    # At the largest cache, every prior scheme is measurably worse than PiCL.
+    for scheme in ("journaling", "shadow", "frm", "thynvm"):
+        assert sweep[largest][scheme] > sweep[largest]["picl"] + 0.05

@@ -1,0 +1,39 @@
+"""Fig 16: sensitivity to NVM row-write latency.
+
+Shape criteria: schemes whose logging is random or whose flushes are
+synchronous degrade as writes slow from DRAM-like (68 ns) to slow SCM
+(968 ns); PiCL's posted, sequential logging keeps it near 1.0x across the
+range.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig16
+from repro.experiments.presets import get_preset
+
+
+def test_fig16_nvm_latency(benchmark, archive):
+    preset = get_preset()
+    sweep = run_once(benchmark, fig16.run, preset)
+    archive(
+        "fig16_nvm_latency",
+        "Fig 16: gmean normalized execution vs NVM row-write latency "
+        "(preset=%s, lower is better)" % preset.name,
+        fig16.format_result(sweep),
+    )
+    latencies = sorted(sweep)
+    fastest, slowest = latencies[0], latencies[-1]
+    # PiCL tolerates even the slowest writes.
+    for latency in latencies:
+        assert sweep[latency]["picl"] < 1.08
+    # Flush-based schemes degrade with write latency.
+    for scheme in ("frm", "journaling"):
+        assert sweep[slowest][scheme] > sweep[fastest][scheme], scheme
+    # At the slowest point the gap to PiCL is widest.
+    gap_slow = min(
+        sweep[slowest][s] for s in fig16.SCHEMES if s != "picl"
+    ) - sweep[slowest]["picl"]
+    gap_fast = min(
+        sweep[fastest][s] for s in fig16.SCHEMES if s != "picl"
+    ) - sweep[fastest]["picl"]
+    assert gap_slow > gap_fast * 0.8

@@ -1,0 +1,36 @@
+"""Recovery latency & availability study (paper §IV-C).
+
+Shape criteria: a larger ACS-gap keeps more live undo entries (longer
+recovery scans, "lengthened by a few multiples"), yet availability at a
+one-day MTBF stays effectively flat — so PiCL's trade of recovery latency
+for runtime overhead is strictly worth it.
+"""
+
+from conftest import run_once
+
+from repro.experiments import recovery_study
+from repro.experiments.presets import get_preset
+
+
+def test_recovery_study(benchmark, archive):
+    preset = get_preset()
+    results = run_once(benchmark, recovery_study.measure, preset)
+    archive(
+        "recovery_study",
+        "Recovery latency & availability vs ACS-gap (preset=%s, one-day "
+        "MTBF)" % preset.name,
+        recovery_study.format_result(results),
+    )
+    gaps = sorted(results)
+    # More outstanding epochs -> more live entries to scan.
+    assert (
+        results[gaps[-1]]["recovery_entries"]
+        >= results[gaps[0]]["recovery_entries"]
+    )
+    # Availability stays effectively flat across the whole range.
+    for gap in gaps:
+        assert results[gap]["availability"] > 0.999, gap
+    # Effective throughput is within a whisker of a perfect system.
+    for gap in gaps:
+        if gap >= 1:
+            assert results[gap]["effective_throughput"] > 0.9, gap

@@ -1,0 +1,34 @@
+"""Table III: hardware overheads (analytic storage model).
+
+Shape criteria (paper): PiCL's added state is small — EID arrays cost a
+few percent of BRAM, total logic under 1% of LUTs — and the LLC carries
+most of the addition (four EID tags per 64 B line).
+"""
+
+from conftest import run_once
+
+from repro.experiments import table3
+
+
+def test_table3_hw_overheads(benchmark, archive):
+    rows = run_once(benchmark, table3.run)
+    archive(
+        "table3_hw_overheads",
+        "Table III: PiCL hardware overhead (analytic storage model, "
+        "Genesys2 / Kintex-7 325T)",
+        table3.format_result(rows),
+    )
+    total = table3.total_bits(rows)
+    # The whole addition is small: under 2% of the FPGA's BRAM bits.
+    fpga_bits = table3.FPGA_BRAM36 * table3.BRAM36_BITS
+    assert total / fpga_bits < 0.02
+    # The LLC EID array dominates the cache-side storage, as in the paper
+    # ("the LLC maintains four EID values per 64-byte cache [line]").
+    by_name = {row.component: row.bits for row in rows}
+    llc_bits = by_name["LLC EID array (4 tags / 64B line)"]
+    l2_bits = by_name["L2 EID array (4b / 16B line)"]
+    assert llc_bits > l2_bits
+    # The write-through L1 needs nothing.
+    assert by_name["L1 (write-through, untouched)"] == 0
+    # Undo buffer is the largest single controller structure.
+    assert by_name["Undo buffer (2KB, double-buffered)"] >= 32 * 1024

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""The paper's motivating example: a torn linked-list append, and recovery.
+
+From the introduction: "when a doubly linked list is appended, two memory
+locations are updated with new pointers. If these pointers reside in
+different cache lines and are not both propagated to memory when the
+system crashes, the memory state can be irreversibly corrupted."
+
+This script performs exactly that append on (a) Ideal NVM — no crash
+consistency — where the crash tears the structure, and (b) PiCL, where
+recovery rolls memory back to the last persisted checkpoint and the list
+is consistent (either fully before or fully after the append — never half).
+
+Usage::
+
+    python examples/crash_recovery_demo.py
+"""
+
+from repro.sim.config import SystemConfig
+from repro.sim.interactive import InteractiveSystem
+
+#: The two pointer fields live in different cache lines.
+NODE_A_NEXT = 0x1000  # A.next
+NODE_C_PREV = 0x2000  # C.prev
+
+
+def describe(image, label):
+    a_next = image.get(NODE_A_NEXT, 0)
+    c_prev = image.get(NODE_C_PREV, 0)
+    consistent = (a_next == 0) == (c_prev == 0)
+    state = "consistent" if consistent else "CORRUPTED (half-appended!)"
+    print("  %-24s A.next=%-6s C.prev=%-6s -> %s" % (
+        label,
+        a_next or "old",
+        c_prev or "old",
+        state,
+    ))
+    return consistent
+
+
+def run_append_and_crash(scheme_name):
+    print("%s:" % scheme_name)
+    config = SystemConfig().scaled(256)
+    system = InteractiveSystem(scheme_name, config)
+
+    # A few epochs of unrelated work, so checkpoints exist.
+    for epoch in range(4):
+        for i in range(20):
+            system.store(0x100000 + (epoch * 20 + i) * 64)
+        system.end_epoch()
+
+    # The append: two dependent pointer stores in different lines.
+    system.store(NODE_A_NEXT)  # A.next = B
+    # <-- power fails between the two stores reaching durable memory.
+    system.store(NODE_C_PREV)  # C.prev = B
+    # Force one of the lines (only!) toward memory, as an unlucky eviction
+    # schedule would: write A.next in place while C.prev stays volatile.
+    system.scheme.write_back(
+        NODE_A_NEXT,
+        system.arch_state()[NODE_A_NEXT],
+        system.now,
+    )
+
+    image, commit_id, _reference = system.crash_and_recover()
+    label = (
+        "recovered to commit %s" % commit_id
+        if commit_id is not None
+        else "raw NVM contents"
+    )
+    return describe(image, label)
+
+
+def main():
+    print("Linked-list append torn by a power failure")
+    print("=" * 60)
+    ideal_ok = run_append_and_crash("ideal")
+    picl_ok = run_append_and_crash("picl")
+    print()
+    if not ideal_ok and picl_ok:
+        print("Ideal NVM tore the structure; PiCL recovered a consistent")
+        print("checkpoint - software-transparent crash consistency at work.")
+    elif ideal_ok:
+        print("(The eviction schedule happened to be kind to Ideal NVM this")
+        print("time; PiCL is consistent by construction, not by luck.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""The DRAM memory-side cache extension (paper §IV-C).
+
+Low-IOPS NVMs are often fronted by a DRAM page cache. The paper argues
+PiCL composes with it: in write-through mode nothing changes (writes
+still reach the NVM, so PiCL's view is identical), while reads get
+DRAM-speed hits. This script builds both systems, runs the same access
+pattern, and shows (a) the read-latency win and (b) that crash recovery
+is still token-exact.
+
+Usage::
+
+    python examples/dram_cache_extension.py
+"""
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.stats import StatCounters
+from repro.common.units import KB
+from repro.cpu.core import CoreState
+from repro.cpu.system import System
+from repro.mem.controller import MemoryController
+from repro.mem.dram_cache import DramCache, DramCacheMode
+from repro.sim.config import SystemConfig
+from repro.sim.simulator import build_scheme
+
+
+def build(with_dram):
+    config = SystemConfig().scaled(256)
+    stats = StatCounters()
+    dram = (
+        DramCache(256 * KB, assoc=4, mode=DramCacheMode.WRITE_THROUGH)
+        if with_dram
+        else None
+    )
+    controller = MemoryController(config.nvm, stats, dram_cache=dram)
+    hierarchy = CacheHierarchy(
+        controller,
+        n_cores=1,
+        l1_size=config.l1_size,
+        l1_assoc=config.l1_assoc,
+        l2_size=config.l2_size,
+        l2_assoc=config.l2_assoc,
+        llc_size_per_core=config.llc_size_per_core,
+        llc_assoc=config.llc_assoc,
+        stats=stats,
+    )
+    system = System(
+        controller, hierarchy, [CoreState(0)], stats=stats, track_reference=True
+    )
+    scheme = build_scheme("picl", system, config)
+    return system, scheme, hierarchy, stats
+
+
+def drive(system, scheme, hierarchy):
+    now = 0
+    # A page-friendly scan with rewrites, across several epochs.
+    for epoch in range(6):
+        for i in range(200):
+            addr = (i % 120) * 64
+            token = system.new_token()
+            wait = hierarchy.access(0, addr, True, token, now)
+            system.note_store(addr, token)
+            now += wait + 1
+        stall = scheme.on_epoch_boundary(now)
+        now += stall
+    return now
+
+
+def main():
+    print("PiCL over bare NVM vs PiCL over NVM + write-through DRAM cache")
+    print()
+    for label, with_dram in (("bare NVM", False), ("NVM + DRAM cache", True)):
+        system, scheme, hierarchy, stats = build(with_dram)
+        cycles = drive(system, scheme, hierarchy)
+        system.crash()
+        image, commit_id = scheme.recover()
+        reference = system.commit_snapshot(commit_id)
+        exact = all(
+            image.get(a, 0) == reference.get(a, 0)
+            for a in set(image) | set(reference)
+        )
+        print("%-18s %9d cycles   dram hits=%-6d recovery to commit %d: %s"
+              % (
+                  label,
+                  cycles,
+                  stats.get("dram.hits"),
+                  commit_id,
+                  "exact" if exact else "BROKEN",
+              ))
+    print()
+    print("Write-through DRAM changes performance, never correctness —")
+    print("exactly the paper's point: 'no modifications are needed'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The environment this repository targets is fully offline and has no
+``wheel`` package, so PEP 517 editable installs (which need
+``bdist_wheel``) fail. Keeping a ``setup.py`` alongside ``pyproject.toml``
+lets ``pip install -e .`` fall back to the legacy develop-mode code path.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

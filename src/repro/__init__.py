@@ -1,0 +1,77 @@
+"""PiCL reproduction: a software-transparent, persistent cache log for NVMM.
+
+A full Python reproduction of *PiCL* (Nguyen & Wentzlaff, MICRO 2018):
+the PiCL mechanism itself (multi-undo logging, cache-driven logging,
+asynchronous cache scan), the four prior-work baselines it is compared
+against, and the trace-driven cache/NVM simulation substrate the
+evaluation runs on.
+
+Quickstart::
+
+    from repro import Simulation, SystemConfig
+
+    config = SystemConfig().scaled(64)   # the paper's system, laptop-sized
+    ideal = Simulation(config, "ideal", ["gcc"], n_instructions=500_000).run()
+    picl = Simulation(config, "picl", ["gcc"], n_instructions=500_000).run()
+    print("PiCL overhead: %.1f%%" % ((picl.normalized_to(ideal) - 1) * 100))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure.
+"""
+
+from repro.baselines import (
+    FEATURE_MATRIX,
+    Frm,
+    IdealNvm,
+    Journaling,
+    ShadowPaging,
+    ThyNvm,
+)
+from repro.core import (
+    IoConsistencyBuffer,
+    OsInterface,
+    PiclConfig,
+    PiclScheme,
+    check_recovered,
+    recover_image,
+)
+from repro.mem import NvmTimings
+from repro.sim import (
+    SCHEME_NAMES,
+    Simulation,
+    SimulationResult,
+    SystemConfig,
+    run_matrix,
+    run_mix,
+    run_single,
+)
+from repro.trace import BENCHMARKS, MULTIPROGRAM_MIXES, get_profile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PiclScheme",
+    "PiclConfig",
+    "IdealNvm",
+    "Journaling",
+    "ShadowPaging",
+    "Frm",
+    "ThyNvm",
+    "FEATURE_MATRIX",
+    "Simulation",
+    "SimulationResult",
+    "SystemConfig",
+    "SCHEME_NAMES",
+    "NvmTimings",
+    "run_single",
+    "run_matrix",
+    "run_mix",
+    "BENCHMARKS",
+    "MULTIPROGRAM_MIXES",
+    "get_profile",
+    "OsInterface",
+    "IoConsistencyBuffer",
+    "recover_image",
+    "check_recovered",
+    "__version__",
+]

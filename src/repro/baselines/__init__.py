@@ -1,0 +1,37 @@
+"""Software-transparent crash-consistency schemes the paper compares against.
+
+Every scheme implements :class:`repro.baselines.base.CrashConsistencyScheme`
+(PiCL itself lives in :mod:`repro.core` but implements the same interface):
+
+* :class:`IdealNvm` — no checkpointing at all; the normalization baseline.
+* :class:`Journaling` — redo logging with an NVM redo buffer tracked by a
+  fixed translation table; overflow forces early commits.
+* :class:`ShadowPaging` — page-granularity copy-on-write journaling with
+  module-local CoW and retained entries (the paper's two optimizations).
+* :class:`Frm` — undo logging with the read-log-modify sequence per dirty
+  write-back and a synchronous flush each epoch.
+* :class:`ThyNvm` — redo logging at mixed 64 B / 4 KB granularity with
+  single-checkpoint execution overlap.
+"""
+
+from repro.baselines.base import (
+    FEATURE_MATRIX,
+    CrashConsistencyScheme,
+    TranslationTable,
+)
+from repro.baselines.frm import Frm
+from repro.baselines.ideal import IdealNvm
+from repro.baselines.journaling import Journaling
+from repro.baselines.shadow import ShadowPaging
+from repro.baselines.thynvm import ThyNvm
+
+__all__ = [
+    "CrashConsistencyScheme",
+    "TranslationTable",
+    "FEATURE_MATRIX",
+    "IdealNvm",
+    "Journaling",
+    "ShadowPaging",
+    "Frm",
+    "ThyNvm",
+]

@@ -1,0 +1,31 @@
+"""Ideal NVM: no checkpointing, no crash consistency.
+
+The normalization baseline of every figure ("Ideal NVM is a model that has
+no checkpoint nor crash consistency"). Write-backs go straight in place;
+epoch boundaries are no-ops; recovery is undefined (a crash loses the
+contents of the caches with no way back to a consistent state).
+"""
+
+from repro.baselines.base import CrashConsistencyScheme
+
+
+class IdealNvm(CrashConsistencyScheme):
+    """No-op scheme: in-place write-backs only."""
+
+    name = "ideal"
+
+    def on_epoch_boundary(self, now):
+        """Nothing to do: Ideal NVM never checkpoints."""
+        return 0
+
+    def finalize(self, now):
+        """Drain posted writes so end-of-run timing is comparable."""
+        return self.controller.drain(now)
+
+    def recover(self):
+        """No consistency guarantee: returns the raw (possibly torn) image.
+
+        The commit id is ``None`` — there is no checkpoint this image
+        corresponds to, which is precisely the problem PiCL solves.
+        """
+        return self.controller.snapshot_image(), None

@@ -1,0 +1,22 @@
+"""SRAM cache hierarchy substrate.
+
+A multi-level, multi-core, inclusive write-back hierarchy: per-core private
+L1 and L2 caches and one shared LLC, with MESI-lite states, LRU replacement,
+and the snooping/flush/scan operations the crash-consistency schemes hook
+into. PiCL's additions (EID tags on lines, undo forwarding) ride on the
+``eid`` field each line carries; the hierarchy itself never interprets it,
+matching the paper's claim that PiCL leaves coherence and eviction policy
+unmodified.
+"""
+
+from repro.cache.cache import SetAssocCache
+from repro.cache.hierarchy import CacheHierarchy, EvictionSink
+from repro.cache.line import CacheLine, LineState
+
+__all__ = [
+    "CacheLine",
+    "LineState",
+    "SetAssocCache",
+    "CacheHierarchy",
+    "EvictionSink",
+]

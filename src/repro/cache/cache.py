@@ -1,0 +1,124 @@
+"""A set-associative cache with LRU replacement.
+
+Sets are kept in MRU-first order; lookups move the hit line to the front and
+insertions evict from the back. This is the textbook LRU the paper's
+evaluation assumes (PiCL explicitly leaves the eviction policy unmodified).
+"""
+
+from repro.common.address import LINE_SIZE
+from repro.common.errors import ConfigurationError
+from repro.common.stats import StatCounters
+from repro.common.units import is_power_of_two
+
+
+class SetAssocCache:
+    """Set-associative, LRU, write-back cache structure."""
+
+    def __init__(
+        self,
+        name,
+        size_bytes,
+        assoc,
+        line_size=LINE_SIZE,
+        hit_latency=1,
+        stats=None,
+    ):
+        if size_bytes <= 0 or size_bytes % (assoc * line_size) != 0:
+            raise ConfigurationError(
+                "%s: size %d not divisible into %d-way sets of %d B lines"
+                % (name, size_bytes, assoc, line_size)
+            )
+        n_sets = size_bytes // (assoc * line_size)
+        if not is_power_of_two(n_sets):
+            raise ConfigurationError(
+                "%s: %d sets is not a power of two" % (name, n_sets)
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_size = line_size
+        self.hit_latency = hit_latency
+        self.n_sets = n_sets
+        self._set_mask = n_sets - 1
+        self._line_shift = line_size.bit_length() - 1
+        self._sets = [[] for _ in range(n_sets)]
+        self.stats = stats if stats is not None else StatCounters()
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+
+    def set_index(self, line_addr):
+        """Index of the set a line address maps to."""
+        return (line_addr >> self._line_shift) & self._set_mask
+
+    def lookup(self, line_addr, touch=True):
+        """Return the line at ``line_addr`` or None; ``touch`` updates LRU."""
+        cache_set = self._sets[self.set_index(line_addr)]
+        for index, line in enumerate(cache_set):
+            if line.addr == line_addr:
+                if touch and index != 0:
+                    cache_set.pop(index)
+                    cache_set.insert(0, line)
+                return line
+        return None
+
+    def contains(self, line_addr):
+        """Presence check without LRU side effects."""
+        return self.lookup(line_addr, touch=False) is not None
+
+    # ------------------------------------------------------------------
+    # insertion / removal
+    # ------------------------------------------------------------------
+
+    def insert(self, line):
+        """Insert ``line`` as MRU; returns the evicted victim line or None.
+
+        The caller is responsible for handling the victim (write-back,
+        back-invalidation); the cache only applies LRU.
+        """
+        cache_set = self._sets[self.set_index(line.addr)]
+        cache_set.insert(0, line)
+        if len(cache_set) > self.assoc:
+            victim = cache_set.pop()
+            self.stats.add("%s.evictions" % self.name)
+            return victim
+        return None
+
+    def remove(self, line_addr):
+        """Remove and return the line at ``line_addr`` (None if absent)."""
+        cache_set = self._sets[self.set_index(line_addr)]
+        for index, line in enumerate(cache_set):
+            if line.addr == line_addr:
+                return cache_set.pop(index)
+        return None
+
+    def invalidate_all(self):
+        """Drop every line (models power loss: SRAM contents vanish)."""
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    # ------------------------------------------------------------------
+    # iteration (flush engines, ACS, statistics)
+    # ------------------------------------------------------------------
+
+    def iter_lines(self):
+        """Iterate over every resident line (no LRU side effects)."""
+        for cache_set in self._sets:
+            for line in cache_set:
+                yield line
+
+    def dirty_lines(self):
+        """List the currently dirty lines (snapshot, safe to mutate cache)."""
+        return [line for line in self.iter_lines() if line.dirty]
+
+    def dirty_count(self):
+        """Number of dirty resident lines."""
+        return sum(1 for line in self.iter_lines() if line.dirty)
+
+    def resident_count(self):
+        """Number of resident lines."""
+        return sum(len(cache_set) for cache_set in self._sets)
+
+    def __len__(self):
+        return self.resident_count()

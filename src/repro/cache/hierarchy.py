@@ -1,0 +1,322 @@
+"""Multi-core, inclusive, write-back cache hierarchy.
+
+Structure (Table IV of the paper): per-core private L1 and L2, one shared
+LLC sized per-core times the core count. Inclusion is strict (L1 ⊆ L2 ⊆
+LLC), so an LLC eviction back-invalidates the private copies, pulling any
+fresher private data into the victim before it is written back.
+
+Crash-consistency schemes attach as an :class:`EvictionSink`:
+
+* ``write_back(line_addr, token, now)`` — every dirty LLC eviction and
+  every flush write is routed through the scheme, because schemes differ in
+  what a write-back means (in place for undo schemes, into a redo buffer
+  for redo schemes, bloom-checked for PiCL).
+* ``fill_token(line_addr)`` — redo schemes snoop their buffer on fills.
+* ``on_store(core, line, now)`` — called with the line *before* the store's
+  token is applied, which is where PiCL detects cross-epoch stores and
+  captures undo data.
+
+Timing: on-chip operations (tag checks, snoops, scans) are charged only
+their hit latencies; the paper's overheads all come from NVM traffic, and
+"stores are not on the critical path as they are first absorbed by the
+store-buffer", so stores are charged a configurable fraction of their miss
+latency.
+"""
+
+from repro.common.errors import SimulationError
+from repro.common.stats import StatCounters
+from repro.cache.cache import SetAssocCache
+from repro.cache.line import CacheLine, LineState
+
+
+class EvictionSink:
+    """Default sink: write everything in place (the Ideal-NVM behaviour)."""
+
+    def __init__(self, controller):
+        self.controller = controller
+
+    def write_back(self, line_addr, token, now):
+        """Default sink behaviour: write the line in place."""
+        _completion, stall = self.controller.writeback(line_addr, token, now)
+        return stall
+
+    def fill_token(self, line_addr):
+        """Default sink behaviour: no redo buffer to snoop."""
+        return None
+
+    def on_store(self, core, line, now):
+        """Default sink behaviour: stores need no extra work."""
+        return 0
+
+
+class CacheHierarchy:
+    """Private L1/L2 per core plus a shared, inclusive LLC."""
+
+    def __init__(
+        self,
+        controller,
+        n_cores=1,
+        l1_size=32 * 1024,
+        l1_assoc=4,
+        l1_latency=1,
+        l2_size=256 * 1024,
+        l2_assoc=8,
+        l2_latency=4,
+        llc_size_per_core=2 * 1024 * 1024,
+        llc_assoc=8,
+        llc_latency=30,
+        line_size=64,
+        store_miss_factor=0.5,
+        stats=None,
+    ):
+        self.controller = controller
+        self.n_cores = n_cores
+        self.line_size = line_size
+        self.store_miss_factor = store_miss_factor
+        self.stats = stats if stats is not None else StatCounters()
+        self._l1 = [
+            SetAssocCache("l1", l1_size, l1_assoc, line_size, l1_latency, self.stats)
+            for _ in range(n_cores)
+        ]
+        self._l2 = [
+            SetAssocCache("l2", l2_size, l2_assoc, line_size, l2_latency, self.stats)
+            for _ in range(n_cores)
+        ]
+        self.llc = SetAssocCache(
+            "llc",
+            llc_size_per_core * n_cores,
+            llc_assoc,
+            line_size,
+            llc_latency,
+            self.stats,
+        )
+        self.sink = EvictionSink(controller)
+
+    def attach_sink(self, sink):
+        """Attach the crash-consistency scheme's eviction sink."""
+        self.sink = sink
+
+    # ------------------------------------------------------------------
+    # the demand path
+    # ------------------------------------------------------------------
+
+    def access(self, core, line_addr, is_write, token, now):
+        """Perform one load or store; returns cycles the core is blocked."""
+        l1 = self._l1[core]
+        line = l1.lookup(line_addr)
+        if line is not None:
+            wait = l1.hit_latency
+            self.stats.add("l1.hits")
+        else:
+            line, fill_latency, stall = self._fill_to_l1(core, line_addr, now)
+            if is_write:
+                wait = int(fill_latency * self.store_miss_factor) + stall
+            else:
+                wait = fill_latency + stall
+        if is_write:
+            wait += self.sink.on_store(core, line, now)
+            line.token = token
+            line.dirty = True
+            line.state = LineState.MODIFIED
+            self.stats.add("stores")
+        else:
+            self.stats.add("loads")
+        return wait
+
+    def _fill_to_l1(self, core, line_addr, now):
+        """Bring a line into the core's L1; returns (line, latency, stall)."""
+        self.stats.add("l1.misses")
+        l2 = self._l2[core]
+        stall = 0
+        source = l2.lookup(line_addr)
+        if source is not None:
+            latency = l2.hit_latency
+            self.stats.add("l2.hits")
+        else:
+            self.stats.add("l2.misses")
+            source, latency, stall = self._fill_to_l2(core, line_addr, now)
+        line = source.copy_fill(line_addr)
+        line.dirty = False
+        victim = self._l1[core].insert(line)
+        if victim is not None and victim.dirty:
+            self._merge_down(victim, l2, line_addr_level="l2")
+        return line, latency + self._l1[core].hit_latency, stall
+
+    def _fill_to_l2(self, core, line_addr, now):
+        """Bring a line into the core's L2; returns (line, latency, stall)."""
+        llc_line = self.llc.lookup(line_addr)
+        stall = 0
+        if llc_line is not None:
+            latency = self.llc.hit_latency
+            self.stats.add("llc.hits")
+            if llc_line.owner is not None and llc_line.owner != core:
+                self._snoop_invalidate(llc_line)
+        else:
+            self.stats.add("llc.misses")
+            override = self.sink.fill_token(line_addr)
+            mem_latency, token = self.controller.demand_fill(line_addr, now)
+            if override is not None:
+                token = override
+                self.stats.add("llc.fills_from_log")
+            llc_line = CacheLine(line_addr, token=token)
+            stall += self._insert_llc(llc_line, now)
+            latency = self.llc.hit_latency + mem_latency
+        llc_line.owner = core
+        line = llc_line.copy_fill(line_addr)
+        line.dirty = False
+        victim = self._l2[core].insert(line)
+        if victim is not None:
+            dropped = self._l1[core].remove(victim.addr)
+            if dropped is not None and dropped.dirty:
+                self._merge_lines(victim, dropped)
+            if victim.dirty:
+                target = self.llc.lookup(victim.addr, touch=False)
+                if target is None:
+                    raise SimulationError(
+                        "inclusion violated: L2 victim %#x absent from LLC"
+                        % victim.addr
+                    )
+                self._merge_lines(target, victim)
+        return line, latency + self._l2[core].hit_latency, stall
+
+    def _insert_llc(self, line, now):
+        """Insert into the LLC, handling the victim; returns stall cycles."""
+        victim = self.llc.insert(line)
+        if victim is None:
+            return 0
+        self._back_invalidate(victim)
+        if victim.dirty:
+            self.stats.add("llc.dirty_evictions")
+            return self.sink.write_back(victim.addr, victim.token, now)
+        self.stats.add("llc.clean_evictions")
+        return 0
+
+    # ------------------------------------------------------------------
+    # coherence helpers
+    # ------------------------------------------------------------------
+
+    def _merge_lines(self, target, source):
+        """Fold a dirty upper-level line into its lower-level copy."""
+        target.token = source.token
+        target.dirty = True
+        target.eid = source.eid
+        if source.sub_eids is not None:
+            target.sub_eids = list(source.sub_eids)
+
+    def _merge_down(self, victim, lower_cache, line_addr_level):
+        target = lower_cache.lookup(victim.addr, touch=False)
+        if target is None:
+            raise SimulationError(
+                "inclusion violated: L1 victim %#x absent from %s"
+                % (victim.addr, line_addr_level)
+            )
+        self._merge_lines(target, victim)
+
+    def _back_invalidate(self, llc_victim):
+        """Remove private copies of an LLC victim, folding in dirty data."""
+        owner = llc_victim.owner
+        if owner is None:
+            return
+        l1_copy = self._l1[owner].remove(llc_victim.addr)
+        l2_copy = self._l2[owner].remove(llc_victim.addr)
+        # L1 holds the freshest data; fall back to L2.
+        if l1_copy is not None and l1_copy.dirty:
+            self._merge_lines(llc_victim, l1_copy)
+        elif l2_copy is not None and l2_copy.dirty:
+            self._merge_lines(llc_victim, l2_copy)
+        llc_victim.owner = None
+
+    def _snoop_invalidate(self, llc_line):
+        """Another core touches a privately-held line: pull data, release."""
+        self._back_invalidate(llc_line)
+        self.stats.add("llc.snoops")
+
+    def _refresh_copy(self, copy, llc_line):
+        """Make a private copy identical to the (now freshest) LLC line.
+
+        Without this, a stale-but-valid L2 copy could later shadow the
+        synced LLC data when the fresher L1 copy is silently dropped.
+        """
+        copy.token = llc_line.token
+        copy.eid = llc_line.eid
+        if llc_line.sub_eids is not None:
+            copy.sub_eids = list(llc_line.sub_eids)
+        copy.dirty = False
+
+    def sync_private_line(self, line_addr):
+        """Fold any dirty private copy of a line into the LLC (keep copies clean).
+
+        Used by ACS ("if there are dirty private copies, they would have to
+        be snooped and written back") and by full flushes.
+        """
+        llc_line = self.llc.lookup(line_addr, touch=False)
+        if llc_line is None or llc_line.owner is None:
+            return llc_line
+        owner = llc_line.owner
+        # L2 first, then L1: when both hold dirty copies the L1's data is
+        # newer and must win the merge.
+        copies = []
+        for cache in (self._l2[owner], self._l1[owner]):
+            copy = cache.lookup(line_addr, touch=False)
+            if copy is None:
+                continue
+            copies.append(copy)
+            if copy.dirty:
+                self._merge_lines(llc_line, copy)
+        for copy in copies:
+            self._refresh_copy(copy, llc_line)
+        return llc_line
+
+    # ------------------------------------------------------------------
+    # flush / scan support
+    # ------------------------------------------------------------------
+
+    def sync_all_private(self):
+        """Fold every dirty private line into the LLC (before a full flush).
+
+        L2 is folded before L1 so that when both levels hold dirty copies
+        of a line, the L1's (newer) data wins; a second pass refreshes the
+        private copies from the merged LLC data (see :meth:`_refresh_copy`).
+        """
+        for core in range(self.n_cores):
+            for cache in (self._l2[core], self._l1[core]):
+                for line in cache.iter_lines():
+                    if line.dirty:
+                        target = self.llc.lookup(line.addr, touch=False)
+                        if target is None:
+                            raise SimulationError(
+                                "inclusion violated: private dirty %#x not in LLC"
+                                % line.addr
+                            )
+                        self._merge_lines(target, line)
+        for core in range(self.n_cores):
+            for cache in (self._l2[core], self._l1[core]):
+                for line in cache.iter_lines():
+                    target = self.llc.lookup(line.addr, touch=False)
+                    if target is not None:
+                        self._refresh_copy(line, target)
+
+    def collect_dirty_lines(self):
+        """Snoop everything down and list the dirty LLC lines."""
+        self.sync_all_private()
+        return self.llc.dirty_lines()
+
+    def dirty_line_count(self):
+        """Count dirty lines system-wide (LLC view after an implicit sync)."""
+        self.sync_all_private()
+        return self.llc.dirty_count()
+
+    def invalidate_all(self):
+        """Power loss: all SRAM contents vanish."""
+        for core in range(self.n_cores):
+            self._l1[core].invalidate_all()
+            self._l2[core].invalidate_all()
+        self.llc.invalidate_all()
+
+    def l1(self, core):
+        """The given core's private L1 cache."""
+        return self._l1[core]
+
+    def l2(self, core):
+        """The given core's private L2 cache."""
+        return self._l2[core]

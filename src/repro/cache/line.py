@@ -1,0 +1,60 @@
+"""Cache line state.
+
+Lines carry the MESI-lite coherence state, the dirty bit, the functional
+token of their current contents, and the PiCL EID tag (Fig 5b of the paper).
+The ``eid`` field is ``EpochId.NONE`` for lines that have never been stored
+to since they were filled — "a line loaded from the memory to the LLC
+initially has no EID associated".
+
+For the OpenPiton-style sub-block tracking ablation, a line can also carry
+per-sub-block EIDs (``sub_eids``); the default 64 B tracking granularity
+leaves it ``None``.
+"""
+
+from repro.common.eid import EpochId
+
+
+class LineState:
+    """MESI-lite states (we never distinguish E from M beyond the dirty bit)."""
+
+    INVALID = 0
+    SHARED = 1
+    EXCLUSIVE = 2
+    MODIFIED = 3
+
+
+class CacheLine:
+    """One cache line: tag, coherence state, dirty bit, token, EID tag."""
+
+    __slots__ = ("addr", "state", "dirty", "token", "eid", "owner", "sub_eids")
+
+    def __init__(self, addr, token=0, state=LineState.EXCLUSIVE, owner=None):
+        self.addr = addr
+        self.state = state
+        self.dirty = False
+        self.token = token
+        self.eid = EpochId.NONE
+        #: Core id that holds private copies (LLC bookkeeping); None if none.
+        self.owner = owner
+        #: Optional per-sub-block EIDs for 16 B tracking granularity.
+        self.sub_eids = None
+
+    def copy_fill(self, addr):
+        """Create a new line for an upper level, copying data and EID tag.
+
+        Fills propagate the EID tag along with the data so that the private
+        caches can detect cross-epoch stores without consulting the LLC.
+        """
+        line = CacheLine(addr, token=self.token)
+        line.eid = self.eid
+        if self.sub_eids is not None:
+            line.sub_eids = list(self.sub_eids)
+        return line
+
+    def __repr__(self):
+        return "CacheLine(addr=%#x, dirty=%s, token=%d, eid=%d)" % (
+            self.addr,
+            self.dirty,
+            self.token,
+            self.eid,
+        )

@@ -1,0 +1,87 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the experiment modules plus a few utilities:
+
+.. code-block:: console
+
+    $ python -m repro list                 # what can I run?
+    $ python -m repro fig09 --preset quick # regenerate Fig 9's table
+    $ python -m repro calibrate            # workload-profile diagnostics
+    $ python -m repro recovery             # recovery-latency/availability study
+"""
+
+import argparse
+import sys
+
+from repro import __version__
+
+
+def _experiment_commands():
+    from repro.experiments import (
+        calibrate,
+        fig09,
+        fig10,
+        fig11,
+        fig12,
+        fig13,
+        fig14,
+        fig15,
+        fig16,
+        recovery_study,
+        table3,
+    )
+
+    return {
+        "fig09": (fig09.main, "single-core execution time (Fig 9)"),
+        "fig10": (fig10.main, "8-core multiprogram mixes (Fig 10)"),
+        "fig11": (fig11.main, "commits per epoch interval (Fig 11)"),
+        "fig12": (fig12.main, "NVM operation breakdown (Fig 12)"),
+        "fig13": (fig13.main, "undo log size (Fig 13)"),
+        "fig14": (fig14.main, "very long epochs (Fig 14)"),
+        "fig15": (fig15.main, "LLC size sensitivity (Fig 15)"),
+        "fig16": (fig16.main, "NVM write-latency sensitivity (Fig 16)"),
+        "table3": (table3.main, "hardware overheads (Table III)"),
+        "calibrate": (calibrate.main, "workload-profile diagnostics"),
+        "recovery": (recovery_study.main, "recovery latency & availability"),
+    }
+
+
+def build_parser():
+    """Build the argparse parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PiCL reproduction (MICRO 2018) experiment runner",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    subparsers = parser.add_subparsers(dest="command")
+    subparsers.add_parser("list", help="list available commands")
+    for name, (_main, help_text) in _experiment_commands().items():
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument(
+            "--preset",
+            default=None,
+            help="system scale preset: ci, quick (default), or full",
+        )
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point; returns a process exit code."""
+    argv = argv if argv is not None else sys.argv[1:]
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    commands = _experiment_commands()
+    if args.command in (None, "list"):
+        print("available commands:")
+        for name, (_main, help_text) in sorted(commands.items()):
+            print("  %-10s %s" % (name, help_text))
+        print("  %-10s %s" % ("list", "this listing"))
+        return 0
+    command_main, _help = commands[args.command]
+    command_args = [args.preset] if args.preset else []
+    command_main(command_args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Shared primitives used by every subsystem of the PiCL reproduction.
+
+This package is deliberately dependency-free (besides the standard library)
+so that the memory, cache, and logging subsystems can all build on it without
+import cycles.
+"""
+
+from repro.common.address import (
+    LINE_SIZE,
+    PAGE_SIZE,
+    line_address,
+    line_offset,
+    lines_in_page,
+    page_address,
+    page_offset,
+)
+from repro.common.eid import EpochId, eid_distance, eid_in_window, eid_le
+from repro.common.errors import (
+    ConfigurationError,
+    LogExhaustedError,
+    ReproError,
+    SimulationError,
+)
+from repro.common.stats import StatCounters
+from repro.common.units import (
+    CYCLES_PER_NS,
+    GB,
+    KB,
+    MB,
+    cycles_from_ns,
+    ns_from_cycles,
+)
+
+__all__ = [
+    "LINE_SIZE",
+    "PAGE_SIZE",
+    "line_address",
+    "line_offset",
+    "lines_in_page",
+    "page_address",
+    "page_offset",
+    "EpochId",
+    "eid_distance",
+    "eid_in_window",
+    "eid_le",
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "LogExhaustedError",
+    "StatCounters",
+    "KB",
+    "MB",
+    "GB",
+    "CYCLES_PER_NS",
+    "cycles_from_ns",
+    "ns_from_cycles",
+]

@@ -1,0 +1,47 @@
+"""Physical address helpers.
+
+Addresses are plain integers (byte addresses). The cache hierarchy operates
+at cache-line granularity and the shadow-paging / DRAM-cache layers at page
+granularity, so the line/page arithmetic lives here in one place.
+"""
+
+#: Cache line size in bytes. Fixed at 64 B to match the paper's evaluation;
+#: the OpenPiton prototype's 16 B *tracking* granularity is a property of the
+#: PiCL scheme (see :mod:`repro.core.granularity`), not of the caches.
+LINE_SIZE = 64
+
+#: Page size in bytes, used by Shadow-Paging, ThyNVM's page entries, and the
+#: optional DRAM cache extension.
+PAGE_SIZE = 4096
+
+
+def line_address(addr, line_size=LINE_SIZE):
+    """Return the address of the cache line containing ``addr``."""
+    return addr & ~(line_size - 1)
+
+
+def line_offset(addr, line_size=LINE_SIZE):
+    """Return the byte offset of ``addr`` within its cache line."""
+    return addr & (line_size - 1)
+
+
+def page_address(addr, page_size=PAGE_SIZE):
+    """Return the address of the page containing ``addr``."""
+    return addr & ~(page_size - 1)
+
+
+def page_offset(addr, page_size=PAGE_SIZE):
+    """Return the byte offset of ``addr`` within its page."""
+    return addr & (page_size - 1)
+
+
+def lines_in_page(page_size=PAGE_SIZE, line_size=LINE_SIZE):
+    """Number of cache lines per page (64 for the default 4 KB / 64 B)."""
+    return page_size // line_size
+
+
+def iter_page_lines(addr, page_size=PAGE_SIZE, line_size=LINE_SIZE):
+    """Yield the line addresses of every line in the page containing ``addr``."""
+    base = page_address(addr, page_size)
+    for offset in range(0, page_size, line_size):
+        yield base + offset

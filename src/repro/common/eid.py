@@ -1,0 +1,109 @@
+"""Epoch ID (EID) arithmetic, including the 4-bit wraparound tag model.
+
+PiCL tags every cache line with a small EID (the paper uses 4 bits). The
+hardware compares a line's tag against the current SystemEID to detect
+cross-epoch stores, and the ACS engine matches tags against the epoch being
+persisted. Because the tag is narrow, comparisons are modular: they are only
+meaningful while all live EIDs fall inside a window smaller than ``2**bits``.
+
+The simulator keeps *full* (unbounded) integer EIDs for bookkeeping — that is
+what a software model should do — and uses this module to (a) derive the
+hardware tag a full EID would carry and (b) check that a configuration's
+epoch window (ACS-gap plus in-flight commits) actually fits in the tag,
+which is the real hardware constraint the 4-bit choice imposes.
+"""
+
+from repro.common.errors import ConfigurationError
+
+#: Tag width used by the paper ("4-bit values are sufficient").
+DEFAULT_EID_BITS = 4
+
+
+class EpochId:
+    """Namespace of constants for epoch IDs.
+
+    Full EIDs are plain ints; ``EpochId.NONE`` marks a cache line that has
+    no epoch association yet (freshly filled, never stored to).
+    """
+
+    #: Sentinel for "no EID assigned" (a clean line loaded from memory).
+    NONE = -1
+
+    #: The initial SystemEID after reset.
+    FIRST = 0
+
+
+def to_tag(eid, bits=DEFAULT_EID_BITS):
+    """Return the hardware tag (low ``bits`` bits) a full EID would carry."""
+    if eid < 0:
+        raise ValueError("cannot derive a tag for the NONE sentinel")
+    return eid & ((1 << bits) - 1)
+
+
+def tags_equal(eid_a, eid_b, bits=DEFAULT_EID_BITS):
+    """True when two full EIDs are indistinguishable to ``bits``-wide tags."""
+    return to_tag(eid_a, bits) == to_tag(eid_b, bits)
+
+
+def eid_le(eid_a, eid_b):
+    """Ordering on full EIDs (trivial, but named for symmetry with tags)."""
+    return eid_a <= eid_b
+
+
+def eid_distance(eid_a, eid_b):
+    """Absolute distance between two full EIDs."""
+    return abs(eid_a - eid_b)
+
+
+def eid_in_window(eid, low, high):
+    """True when ``low <= eid <= high`` (inclusive window on full EIDs)."""
+    return low <= eid <= high
+
+
+def max_window(bits=DEFAULT_EID_BITS):
+    """Largest EID window that ``bits``-wide tags can disambiguate.
+
+    With ``n``-bit tags, the hardware can tell apart at most ``2**n - 1``
+    consecutive epochs plus the executing one; a window wider than that
+    aliases and breaks both cross-epoch store detection and ACS matching.
+    """
+    return (1 << bits) - 1
+
+
+def check_window_fits(acs_gap, extra_inflight=1, bits=DEFAULT_EID_BITS):
+    """Validate that the live epoch window fits in the hardware tag.
+
+    ``acs_gap`` committed-but-unpersisted epochs plus ``extra_inflight``
+    (the executing epoch) must all carry distinguishable tags.
+
+    Raises :class:`ConfigurationError` when the window does not fit.
+    """
+    window = acs_gap + extra_inflight
+    limit = max_window(bits)
+    if window > limit:
+        raise ConfigurationError(
+            "epoch window of %d (ACS-gap %d + %d in flight) does not fit in "
+            "%d-bit EID tags (max window %d)"
+            % (window, acs_gap, extra_inflight, bits, limit)
+        )
+    return window
+
+
+def resolve_tag(tag, system_eid, bits=DEFAULT_EID_BITS):
+    """Recover the full EID a tag denotes, given the current SystemEID.
+
+    The hardware invariant (enforced by :func:`check_window_fits`) is that
+    every live tag belongs to an epoch in ``(system_eid - max_window,
+    system_eid]``; within that window, tags are unique, so the full EID is
+    the unique value in the window whose low bits equal ``tag``.
+    """
+    mask = (1 << bits) - 1
+    if not 0 <= tag <= mask:
+        raise ValueError("tag %r out of range for %d bits" % (tag, bits))
+    delta = (system_eid - tag) & mask
+    eid = system_eid - delta
+    if eid < 0:
+        raise ValueError(
+            "tag %d cannot denote a live epoch at SystemEID %d" % (tag, system_eid)
+        )
+    return eid

@@ -1,0 +1,26 @@
+"""Exception hierarchy for the PiCL reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """An internal invariant of the simulation was violated.
+
+    These indicate bugs in the model (or a scheme breaking a hardware
+    invariant such as the undo-before-in-place ordering), never bad user
+    input.
+    """
+
+
+class LogExhaustedError(ReproError):
+    """The NVM log region ran out of space and the OS did not extend it."""
+
+
+class RecoveryError(ReproError):
+    """Crash recovery could not restore a consistent memory image."""

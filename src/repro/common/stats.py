@@ -1,0 +1,64 @@
+"""Lightweight statistics counters.
+
+Every subsystem owns a :class:`StatCounters` and increments named counters;
+the simulator merges them into one result at the end of a run. Counters are
+created on first use so subsystems never need to pre-declare them, and a
+snapshot/diff facility supports measuring a window of execution (e.g., one
+epoch) in isolation.
+"""
+
+
+class StatCounters:
+    """A named bag of numeric counters with snapshot/diff support."""
+
+    def __init__(self, prefix=""):
+        self._prefix = prefix
+        self._counters = {}
+
+    def add(self, name, amount=1):
+        """Increment counter ``name`` by ``amount`` (created at 0 if new)."""
+        key = self._prefix + name
+        self._counters[key] = self._counters.get(key, 0) + amount
+
+    def set(self, name, value):
+        """Set counter ``name`` to ``value`` exactly."""
+        self._counters[self._prefix + name] = value
+
+    def get(self, name, default=0):
+        """Return the value of counter ``name`` (``default`` if never set)."""
+        return self._counters.get(self._prefix + name, default)
+
+    def snapshot(self):
+        """Return a frozen copy of every counter."""
+        return dict(self._counters)
+
+    def diff(self, earlier_snapshot):
+        """Return counter deltas since ``earlier_snapshot``."""
+        deltas = {}
+        for key, value in self._counters.items():
+            before = earlier_snapshot.get(key, 0)
+            if value != before:
+                deltas[key] = value - before
+        return deltas
+
+    def merge_from(self, other):
+        """Accumulate every counter of ``other`` into this bag."""
+        for key, value in other.snapshot().items():
+            self._counters[key] = self._counters.get(key, 0) + value
+
+    def as_dict(self):
+        """Alias for :meth:`snapshot` (read-only view semantics)."""
+        return self.snapshot()
+
+    def reset(self):
+        """Zero every counter."""
+        self._counters.clear()
+
+    def __contains__(self, name):
+        return (self._prefix + name) in self._counters
+
+    def __repr__(self):
+        parts = ", ".join(
+            "%s=%s" % (key, value) for key, value in sorted(self._counters.items())
+        )
+        return "StatCounters(%s)" % parts

@@ -1,0 +1,39 @@
+"""Unit helpers: sizes in bytes and times in CPU cycles.
+
+The simulator keeps all times in integer CPU cycles. The paper's system
+(Table IV) runs at 2.0 GHz, so one nanosecond is two cycles; the conversion
+is kept explicit so that configurations with other clock frequencies can
+override it.
+"""
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: Default CPU frequency used throughout the paper's evaluation (Table IV).
+DEFAULT_CPU_GHZ = 2.0
+
+#: Cycles per nanosecond at the default 2.0 GHz clock.
+CYCLES_PER_NS = DEFAULT_CPU_GHZ
+
+
+def cycles_from_ns(nanoseconds, ghz=DEFAULT_CPU_GHZ):
+    """Convert a duration in nanoseconds to an integer number of CPU cycles.
+
+    Rounds up so that latencies are never silently under-counted.
+    """
+    cycles = nanoseconds * ghz
+    whole = int(cycles)
+    if cycles > whole:
+        whole += 1
+    return whole
+
+
+def ns_from_cycles(cycles, ghz=DEFAULT_CPU_GHZ):
+    """Convert a cycle count back to nanoseconds (as a float)."""
+    return cycles / ghz
+
+
+def is_power_of_two(value):
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0

@@ -1,0 +1,70 @@
+"""PiCL itself: the paper's primary contribution.
+
+The three novelties and their homes:
+
+* **Multi-undo logging** — :mod:`repro.core.undo` (ValidFrom/ValidTill
+  entries), :mod:`repro.core.epoch` (multiple committed-but-unpersisted
+  epochs), :mod:`repro.mem.log_region` (one co-mingled log).
+* **Cache-driven logging** — :meth:`repro.core.picl.PiclScheme.on_store`
+  (undo data sourced from the cache, no read-log-modify) plus
+  :mod:`repro.core.undo_buffer` (on-chip coalescing, bloom hazard guard).
+* **Asynchronous cache scan** — :mod:`repro.core.acs`.
+
+Supporting pieces: crash recovery (:mod:`repro.core.recovery`), OS duties
+(:mod:`repro.core.os_interface`), I/O consistency under deferred
+persistency (:mod:`repro.core.io_consistency`), and the OpenPiton 16 B
+tracking-granularity variant (:mod:`repro.core.granularity`).
+"""
+
+from repro.core.acs import AcsEngine
+from repro.core.availability import (
+    availability,
+    compute_time_lost_per_day,
+    effective_throughput,
+    max_recovery_for_nines,
+    nines,
+    picl_worst_case_recovery_s,
+)
+from repro.core.bloom import BloomFilter
+from repro.core.epoch import EpochManager
+from repro.core.granularity import GranularityPolicy, SubBlockPolicy, make_policy
+from repro.core.io_consistency import IoConsistencyBuffer, PendingIoWrite
+from repro.core.os_interface import EpochBoundaryHandler, OsInterface
+from repro.core.picl import PiclConfig, PiclScheme
+from repro.core.recovery import (
+    RecoveryReport,
+    check_recovered,
+    recover_image,
+    recovery_latency_cycles,
+)
+from repro.core.undo import ENTRY_BYTES, SUBBLOCK_ENTRY_BYTES, UndoEntry
+from repro.core.undo_buffer import UndoBuffer
+
+__all__ = [
+    "PiclScheme",
+    "PiclConfig",
+    "UndoEntry",
+    "ENTRY_BYTES",
+    "SUBBLOCK_ENTRY_BYTES",
+    "UndoBuffer",
+    "BloomFilter",
+    "AcsEngine",
+    "EpochManager",
+    "recover_image",
+    "check_recovered",
+    "recovery_latency_cycles",
+    "RecoveryReport",
+    "OsInterface",
+    "EpochBoundaryHandler",
+    "IoConsistencyBuffer",
+    "PendingIoWrite",
+    "GranularityPolicy",
+    "SubBlockPolicy",
+    "make_policy",
+    "availability",
+    "nines",
+    "max_recovery_for_nines",
+    "compute_time_lost_per_day",
+    "effective_throughput",
+    "picl_worst_case_recovery_s",
+]

@@ -1,0 +1,111 @@
+"""Availability arithmetic for high-frequency checkpointing (§IV-C).
+
+The paper frames PiCL's trade-off — runtime overhead vs recovery latency —
+in availability terms:
+
+* "To achieve 99.999%, system must recover within 864ms" (assuming one
+  failure per day: 0.001% of 86,400 s is 864 ms).
+* "Supposing recovery latency increases to 4.4 s, system availability is
+  still 99.99[5]% assuming a mean time between failures (MTBF) of one
+  day."
+* "A 25% runtime overhead amounts to 21,600 seconds of compute time lost
+  per day, or 25% fewer transactions per second" — slowdowns cost far
+  more than slightly longer recoveries.
+
+This module implements those relations plus the recovery-latency model
+for PiCL's co-mingled log (a worst-case multiple of the single-epoch
+undo scan of prior work).
+"""
+
+SECONDS_PER_DAY = 86_400.0
+
+
+def availability(recovery_latency_s, mtbf_s=SECONDS_PER_DAY):
+    """Fraction of time the system is up, failing every ``mtbf_s`` seconds.
+
+    Each failure costs one recovery; the classic uptime ratio is
+    ``MTBF / (MTBF + MTTR)``.
+    """
+    if mtbf_s <= 0:
+        raise ValueError("MTBF must be positive")
+    if recovery_latency_s < 0:
+        raise ValueError("recovery latency cannot be negative")
+    return mtbf_s / (mtbf_s + recovery_latency_s)
+
+
+def nines(availability_fraction):
+    """Count the leading nines of an availability fraction (2 -> 99%)."""
+    if not 0 <= availability_fraction < 1:
+        raise ValueError("availability must be in [0, 1)")
+    count = 0
+    remainder = 1 - availability_fraction
+    # The tolerance absorbs float rounding in inputs like 0.99999.
+    while remainder <= 0.1 ** (count + 1) * (1 + 1e-9) and count < 12:
+        count += 1
+    return count
+
+
+def max_recovery_for_nines(n, mtbf_s=SECONDS_PER_DAY):
+    """Longest recovery latency that still yields ``n`` nines.
+
+    ``availability >= 1 - 10**-n`` solves to
+    ``MTTR <= MTBF * 10**-n / (1 - 10**-n)``.
+    """
+    target_downtime = 10.0 ** (-n)
+    return mtbf_s * target_downtime / (1 - target_downtime)
+
+
+def compute_time_lost_per_day(runtime_overhead):
+    """Seconds of compute lost per day to a runtime overhead fraction.
+
+    The paper's comparison point: 25% overhead costs a quarter of every
+    day's compute — orders of magnitude more than any realistic recovery
+    budget.
+    """
+    if runtime_overhead < 0:
+        raise ValueError("overhead cannot be negative")
+    return SECONDS_PER_DAY * runtime_overhead / (1 + runtime_overhead)
+
+
+def effective_throughput(runtime_overhead, recovery_latency_s, mtbf_s=SECONDS_PER_DAY):
+    """Throughput relative to an overhead-free, failure-free system.
+
+    Combines both costs: the slowdown scales all useful work by
+    ``1 / (1 + overhead)``, and each failure steals one recovery's worth
+    of uptime.
+    """
+    uptime = availability(recovery_latency_s, mtbf_s)
+    return uptime / (1 + runtime_overhead)
+
+
+def picl_worst_case_recovery_s(
+    prior_work_recovery_s=0.62, acs_gap=3, comingling_factor=None
+):
+    """Scale prior work's measured recovery to PiCL's deferred window.
+
+    A study of undo-based recovery "finds that given a checkpoint period
+    of 10ms, the worst-case recovery latency is around 620ms"; with ACS
+    and co-mingled undo entries "the worst-case recovery latency might be
+    lengthened by a few multiples". The default multiple is the number of
+    epochs whose entries can be live: the ACS-gap plus the executing
+    epoch.
+    """
+    if comingling_factor is None:
+        comingling_factor = acs_gap + 1
+    return prior_work_recovery_s * comingling_factor
+
+
+def compare_schemes(overheads, recovery_latencies_s, mtbf_s=SECONDS_PER_DAY):
+    """Rank schemes by effective throughput.
+
+    ``overheads`` and ``recovery_latencies_s`` map scheme name to runtime
+    overhead fraction and recovery seconds; returns {scheme: throughput}
+    sorted best-first.
+    """
+    scored = {
+        name: effective_throughput(
+            overheads[name], recovery_latencies_s.get(name, 0.0), mtbf_s
+        )
+        for name in overheads
+    }
+    return dict(sorted(scored.items(), key=lambda item: -item[1]))

@@ -1,0 +1,65 @@
+"""Bloom filter guarding the eviction-before-undo-flush ordering hazard.
+
+PiCL's correctness requires that a cache line is never written in place
+before its undo entry is durable (§III-B). The hardware detects the hazard
+with a bloom filter over the addresses currently sitting in the on-chip
+undo buffer: when an eviction's address *may* match, the buffer is flushed
+first. The filter is cleared on every buffer flush, so false positives
+only cost an early flush, never correctness.
+
+The paper sizes it at 4096 bits for a 32-entry buffer, making the
+false-positive rate insignificant; the size is configurable so the
+ablation bench can chart the trade-off.
+"""
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import is_power_of_two
+
+
+class BloomFilter:
+    """A k-hash bloom filter over line addresses, backed by one big int."""
+
+    def __init__(self, n_bits=4096, n_hashes=2):
+        if not is_power_of_two(n_bits):
+            raise ConfigurationError("bloom filter bits must be a power of two")
+        if n_hashes < 1:
+            raise ConfigurationError("need at least one hash function")
+        self.n_bits = n_bits
+        self.n_hashes = n_hashes
+        self._mask = n_bits - 1
+        self._bits = 0
+        self._population = 0
+
+    def _positions(self, addr):
+        # Two independent mixes combined per Kirsch-Mitzenmacher.
+        h1 = (addr * 2654435761) & 0xFFFFFFFF
+        h2 = ((addr >> 6) * 40503 + 0x9E3779B9) & 0xFFFFFFFF
+        for i in range(self.n_hashes):
+            yield (h1 + i * h2) & self._mask
+
+    def add(self, addr):
+        """Set the address's bits."""
+        for pos in self._positions(addr):
+            self._bits |= 1 << pos
+        self._population += 1
+
+    def might_contain(self, addr):
+        """True when ``addr`` may have been added since the last clear."""
+        for pos in self._positions(addr):
+            if not (self._bits >> pos) & 1:
+                return False
+        return True
+
+    def clear(self):
+        """Reset the filter (done on each undo-buffer flush)."""
+        self._bits = 0
+        self._population = 0
+
+    @property
+    def population(self):
+        """Number of adds since the last clear (not distinct addresses)."""
+        return self._population
+
+    def saturation(self):
+        """Fraction of bits set (diagnostic for sizing studies)."""
+        return bin(self._bits).count("1") / self.n_bits

@@ -1,0 +1,76 @@
+"""Epoch state machine (Table I of the paper).
+
+Three EIDs matter system-wide:
+
+* **SystemEID** — the currently executing, uncommitted epoch.
+* **committed** epochs — finished but not necessarily persisted; with
+  multi-undo logging there can be several in flight (up to the ACS-gap).
+* **PersistedEID** — the most recent fully persisted, fully recoverable
+  checkpoint; the system can always be reverted to it.
+
+Epoch IDs here are full integers; the hardware's 4-bit tags only have to
+disambiguate the live window, which :func:`repro.common.eid.check_window_fits`
+validates at construction.
+"""
+
+from repro.common.eid import DEFAULT_EID_BITS, check_window_fits
+from repro.common.errors import SimulationError
+
+
+class EpochManager:
+    """Tracks SystemEID, the committed window, and PersistedEID."""
+
+    def __init__(self, acs_gap=3, eid_bits=DEFAULT_EID_BITS):
+        check_window_fits(acs_gap, extra_inflight=1, bits=eid_bits)
+        self.acs_gap = acs_gap
+        self.eid_bits = eid_bits
+        self.system_eid = 0
+        #: -1 means only the initial (pre-execution) state is recoverable.
+        self.persisted_eid = -1
+
+    # ------------------------------------------------------------------
+    # transitions
+    # ------------------------------------------------------------------
+
+    def commit(self):
+        """Commit the executing epoch; returns (committed_eid, persist_target).
+
+        ``persist_target`` is the epoch whose ACS is now due (commit minus
+        the ACS-gap), or None while the pipeline is still filling.
+        """
+        committed = self.system_eid
+        self.system_eid += 1
+        target = committed - self.acs_gap
+        if target >= 0:
+            return committed, target
+        return committed, None
+
+    def persist(self, eid):
+        """ACS finished for ``eid``: advance the PersistedEID."""
+        if eid != self.persisted_eid + 1:
+            raise SimulationError(
+                "persist order violated: persisting %d after %d"
+                % (eid, self.persisted_eid)
+            )
+        if eid >= self.system_eid:
+            raise SimulationError(
+                "cannot persist uncommitted epoch %d (SystemEID %d)"
+                % (eid, self.system_eid)
+            )
+        self.persisted_eid = eid
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def committed_unpersisted(self):
+        """EIDs committed but not yet persisted, oldest first."""
+        return list(range(self.persisted_eid + 1, self.system_eid))
+
+    def in_flight(self):
+        """Number of committed-but-unpersisted epochs."""
+        return self.system_eid - self.persisted_eid - 1
+
+    def is_transient(self, eid):
+        """Stores to lines tagged with the SystemEID need no undo entry."""
+        return eid == self.system_eid

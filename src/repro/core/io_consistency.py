@@ -1,0 +1,85 @@
+"""I/O consistency under deferred persistency (§IV-C).
+
+I/O reads may proceed immediately, but I/O *writes* (their side effects
+escape the recoverable memory state) must be buffered until the epoch they
+happened in has been fully persisted — otherwise a crash could roll memory
+back to before an externally visible action.
+
+Because ACS defers persistency by the ACS-gap, the effective I/O release
+latency is ``epoch_length * acs_gap``. When an I/O write is flagged as
+latency-critical, the buffer asks the scheme to run a bulk ACS, persisting
+everything outstanding at once and releasing the write immediately.
+
+Unreliable interfaces (TCP/IP and other fault-tolerant protocols, or
+idempotent storage operations) can opt out of buffering entirely.
+"""
+
+
+class PendingIoWrite:
+    """One buffered I/O write awaiting its epoch's persistence."""
+
+    __slots__ = ("payload", "epoch", "queued_at", "released_at")
+
+    def __init__(self, payload, epoch, queued_at):
+        self.payload = payload
+        self.epoch = epoch
+        self.queued_at = queued_at
+        self.released_at = None
+
+    @property
+    def delay(self):
+        """Cycles between queueing and release (None while pending)."""
+        if self.released_at is None:
+            return None
+        return self.released_at - self.queued_at
+
+
+class IoConsistencyBuffer:
+    """Buffers I/O writes until their epoch persists."""
+
+    def __init__(self, scheme):
+        self.scheme = scheme
+        self.pending = []
+        self.released = []
+        scheme.attach_io_buffer(self)
+
+    def io_read(self, now):
+        """Reads occur immediately (no side effects to protect)."""
+        return now
+
+    def io_write(self, payload, now, critical=False, unreliable=False):
+        """Queue an I/O write; returns the cycle at which it is released.
+
+        ``unreliable`` interfaces release immediately (built-in fault
+        tolerance); ``critical`` writes force a bulk ACS.
+        """
+        if unreliable:
+            return now
+        epoch = self.scheme.epochs.system_eid
+        write = PendingIoWrite(payload, epoch, now)
+        if critical:
+            stall = self.scheme.persist_all_now(now)
+            write.released_at = now + stall
+            self.released.append(write)
+            return write.released_at
+        self.pending.append(write)
+        return None
+
+    def on_persist(self, persisted_eid, now):
+        """Release every write whose epoch is now durable."""
+        still_pending = []
+        for write in self.pending:
+            if write.epoch <= persisted_eid:
+                write.released_at = now
+                self.released.append(write)
+            else:
+                still_pending.append(write)
+        self.pending = still_pending
+
+    def pending_count(self):
+        """Number of I/O writes still awaiting persistence."""
+        return len(self.pending)
+
+    def release_delays(self):
+        """Observed queue-to-release delays (for the I/O latency study)."""
+        return [write.delay for write in self.released]

@@ -1,0 +1,83 @@
+"""OS support duties (§IV-B).
+
+The hardware keeps PiCL simple by pushing bookkeeping to the OS:
+
+* **Log allocation** — the OS allocates a block of NVM (128 MB by default)
+  and hands the pointer to the hardware; on exhaustion the hardware raises
+  an interrupt and the OS extends the allocation (allocations need not be
+  contiguous).
+* **Epoch boundary handler** — a periodic timer interrupt that stores the
+  non-memory architectural state (register files, condition codes) to a
+  per-core OS-visible address; required by *every* epoch-based
+  checkpointing scheme, and charged to all of them via
+  ``System.epoch_handler_cycles``.
+* **Crash handling** — on reboot, read the PersistedEID marker and run the
+  backward log scan (:mod:`repro.core.recovery`).
+* **Garbage collection** — grouped per superblock by max ValidTill
+  (implemented in :mod:`repro.mem.log_region`).
+"""
+
+from repro.common.units import MB
+from repro.core.recovery import check_recovered, recovery_latency_cycles
+
+
+class EpochBoundaryHandler:
+    """The timer-interrupt handler saving per-core architectural state."""
+
+    #: Registers + condition state saved per core, in cache lines.
+    STATE_LINES_PER_CORE = 4
+
+    def __init__(self, n_cores, base_cycles=1000, cycles_per_line=16):
+        self.n_cores = n_cores
+        self.base_cycles = base_cycles
+        self.cycles_per_line = cycles_per_line
+
+    def cost_cycles(self):
+        """Handler cost per epoch boundary (interrupt entry + state stores).
+
+        The stores are cacheable, so the cost is pipeline work, not NVM
+        traffic.
+        """
+        stores = self.n_cores * self.STATE_LINES_PER_CORE
+        return self.base_cycles + stores * self.cycles_per_line
+
+
+class OsInterface:
+    """The OS half of PiCL: allocation policy and crash handling."""
+
+    def __init__(self, initial_log_bytes=128 * MB, extension_bytes=128 * MB):
+        self.initial_log_bytes = initial_log_bytes
+        self.extension_bytes = extension_bytes
+        self.extensions_granted = 0
+
+    def grant_extension(self, log_region, needed_bytes):
+        """Log-exhaustion interrupt: extend the allocation.
+
+        Wired as ``LogRegion.on_exhausted``; returns True when granted.
+        """
+        grant = max(self.extension_bytes, needed_bytes)
+        log_region.capacity_bytes += grant
+        self.extensions_granted += 1
+        return True
+
+    def handle_crash(self, scheme, reference_snapshot=None):
+        """Reboot-time recovery; returns (image, commit_id, report).
+
+        When a reference snapshot is supplied (test mode), the recovered
+        image is verified against it and a mismatch raises
+        :class:`repro.common.errors.RecoveryError`.
+        """
+        image, commit_id = scheme.recover()
+        report = getattr(scheme, "last_recovery_report", None)
+        if reference_snapshot is not None:
+            check_recovered(image, reference_snapshot)
+        return image, commit_id, report
+
+    def estimate_recovery_latency(self, scheme, timings):
+        """Worst-case recovery time for the scheme's current log (§IV-C)."""
+        image, _commit_id = scheme.recover()
+        del image
+        report = scheme.last_recovery_report
+        return recovery_latency_cycles(
+            report, timings, entry_bytes=scheme.log.entry_bytes
+        )

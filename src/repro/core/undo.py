@@ -1,0 +1,68 @@
+"""Multi-undo log entries (Fig 5a of the paper).
+
+An undo entry records the pre-store data of a cache line together with the
+validity range ``[valid_from, valid_till)``:
+
+* ``valid_from`` — the epoch in which the block was modified *to* this
+  value (or the PersistedEID at entry creation, for clean lines with no
+  EID tag, which is a sound under-approximation — the value has been
+  unchanged since at least then).
+* ``valid_till`` — the epoch in which the block was modified *away* from
+  this value (always the SystemEID at entry creation).
+
+Recovering to persisted epoch ``P`` applies exactly the entries with
+``valid_from <= P < valid_till``. Once ``valid_till <= PersistedEID`` the
+entry can never be needed again and is garbage (see
+:meth:`repro.mem.log_region.SuperBlock.expired`).
+"""
+
+#: On-NVM size of one undo entry: 64 B data + address tag + two EIDs.
+ENTRY_BYTES = 72
+
+#: On-NVM size of a 16 B-granularity entry (OpenPiton tracking ablation).
+SUBBLOCK_ENTRY_BYTES = 24
+
+
+class UndoEntry:
+    """One multi-undo log entry."""
+
+    __slots__ = ("addr", "token", "valid_from", "valid_till")
+
+    def __init__(self, addr, token, valid_from, valid_till):
+        if valid_till <= valid_from:
+            raise ValueError(
+                "empty validity range [%d, %d) for %#x"
+                % (valid_from, valid_till, addr)
+            )
+        self.addr = addr
+        self.token = token
+        self.valid_from = valid_from
+        self.valid_till = valid_till
+
+    def covers(self, persisted_eid):
+        """True when this entry is needed to revert to ``persisted_eid``."""
+        return self.valid_from <= persisted_eid < self.valid_till
+
+    def expired(self, persisted_eid):
+        """True once the entry can never cover a future recovery target."""
+        return self.valid_till <= persisted_eid
+
+    def __repr__(self):
+        return "UndoEntry(addr=%#x, token=%d, valid=[%d, %d))" % (
+            self.addr,
+            self.token,
+            self.valid_from,
+            self.valid_till,
+        )
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, UndoEntry)
+            and self.addr == other.addr
+            and self.token == other.token
+            and self.valid_from == other.valid_from
+            and self.valid_till == other.valid_till
+        )
+
+    def __hash__(self):
+        return hash((self.addr, self.token, self.valid_from, self.valid_till))

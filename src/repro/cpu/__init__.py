@@ -1,0 +1,13 @@
+"""CPU model: in-order cores and the system container.
+
+Cores follow Table IV: in-order x86 at 2 GHz, CPI 1 for non-memory
+instructions, stores absorbed by a store buffer. The :class:`System` wires
+cores, the cache hierarchy, and the memory controller together and provides
+the services every crash-consistency scheme needs: store tokens, commit
+bookkeeping, architectural reference snapshots, and stop-the-world stalls.
+"""
+
+from repro.cpu.core import CoreState
+from repro.cpu.system import System
+
+__all__ = ["CoreState", "System"]

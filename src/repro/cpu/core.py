@@ -1,0 +1,52 @@
+"""Per-core execution state.
+
+The timing model is the paper's (Table IV): an in-order core retiring one
+non-memory instruction per cycle, blocking on loads, and mostly hiding
+stores behind the store buffer (the hierarchy charges stores a configurable
+fraction of their miss latency). Each core keeps its own cycle clock; the
+simulator interleaves cores by advancing whichever is earliest.
+"""
+
+
+class CoreState:
+    """Clock and counters for one core."""
+
+    __slots__ = (
+        "core_id",
+        "cycle",
+        "instructions",
+        "mem_stall_cycles",
+        "commit_stall_cycles",
+        "finished",
+    )
+
+    def __init__(self, core_id):
+        self.core_id = core_id
+        self.cycle = 0
+        self.instructions = 0
+        self.mem_stall_cycles = 0
+        self.commit_stall_cycles = 0
+        self.finished = False
+
+    def advance_compute(self, instructions):
+        """Retire ``instructions`` non-memory instructions (CPI 1)."""
+        self.cycle += instructions
+        self.instructions += instructions
+
+    def advance_memory(self, wait_cycles):
+        """Block on a memory reference for ``wait_cycles``."""
+        self.cycle += wait_cycles
+        self.instructions += 1
+        self.mem_stall_cycles += wait_cycles
+
+    def stall_commit(self, cycles):
+        """Stop-the-world stall charged by a synchronous commit."""
+        self.cycle += cycles
+        self.commit_stall_cycles += cycles
+
+    def __repr__(self):
+        return "CoreState(core=%d, cycle=%d, instr=%d)" % (
+            self.core_id,
+            self.cycle,
+            self.instructions,
+        )

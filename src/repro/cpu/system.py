@@ -1,0 +1,125 @@
+"""The system container: cores + hierarchy + controller + scheme services.
+
+Schemes interact with the system rather than with the simulator:
+
+* :meth:`new_token` hands out the unique token each store carries (the
+  functional stand-in for the stored bytes — see
+  :mod:`repro.mem.image`).
+* :meth:`record_commit` / :meth:`commit_snapshot` give schemes commit
+  bookkeeping plus the architectural reference snapshot that crash-recovery
+  tests compare against. Snapshot tracking is optional (it costs memory)
+  and bounded.
+* :meth:`broadcast_stall` charges a stop-the-world stall to every core,
+  which is what a synchronous cache flush does.
+
+The OS epoch-boundary handler cost (saving register files etc. — §V-A:
+"a necessary ingredient to all epoch-based checkpointing schemes") is
+charged per commit via ``epoch_handler_cycles``.
+"""
+
+import collections
+
+from repro.common.stats import StatCounters
+
+
+class System:
+    """Everything a crash-consistency scheme needs to see."""
+
+    def __init__(
+        self,
+        controller,
+        hierarchy,
+        cores,
+        stats=None,
+        epoch_handler_cycles=1000,
+        track_reference=False,
+        reference_depth=8,
+    ):
+        self.controller = controller
+        self.hierarchy = hierarchy
+        self.cores = cores
+        self.stats = stats if stats is not None else StatCounters()
+        self.epoch_handler_cycles = epoch_handler_cycles
+        self.track_reference = track_reference
+        self._next_token = 1
+        #: Architectural memory state: what a crash-free machine would hold.
+        self.arch_image = {}
+        #: commit_id -> architectural snapshot at that commit boundary.
+        self._commit_snapshots = collections.OrderedDict()
+        self._reference_depth = reference_depth
+        self.commit_count = 0
+        self.total_instructions = 0
+
+    # ------------------------------------------------------------------
+    # store tokens and architectural state
+    # ------------------------------------------------------------------
+
+    def new_token(self):
+        """Unique token for the next store's value."""
+        token = self._next_token
+        self._next_token += 1
+        return token
+
+    def note_store(self, line_addr, token):
+        """Record a store in the architectural reference image."""
+        if self.track_reference:
+            self.arch_image[line_addr] = token
+
+    # ------------------------------------------------------------------
+    # commit bookkeeping
+    # ------------------------------------------------------------------
+
+    def record_commit(self, commit_id):
+        """A scheme committed a checkpoint; snapshot the reference state.
+
+        Called at the instant the commit logically happens — before any
+        store of the next epoch is applied — so the snapshot is exactly the
+        state recovery must reproduce for this commit.
+        """
+        self.commit_count += 1
+        self.stats.add("commits")
+        if self.track_reference:
+            self._commit_snapshots[commit_id] = dict(self.arch_image)
+            while len(self._commit_snapshots) > self._reference_depth:
+                self._commit_snapshots.popitem(last=False)
+
+    def commit_snapshot(self, commit_id):
+        """The architectural snapshot taken at ``commit_id`` (or None)."""
+        return self._commit_snapshots.get(commit_id)
+
+    def handler_stall(self):
+        """Cycles of the OS epoch-boundary interrupt handler per commit."""
+        return self.epoch_handler_cycles
+
+    # ------------------------------------------------------------------
+    # stop-the-world stalls
+    # ------------------------------------------------------------------
+
+    def broadcast_stall(self, cycles):
+        """Charge a stop-the-world stall to every core."""
+        if cycles <= 0:
+            return
+        for core in self.cores:
+            core.stall_commit(cycles)
+        self.stats.add("stall.stop_the_world_cycles", cycles)
+
+    # ------------------------------------------------------------------
+    # clocks
+    # ------------------------------------------------------------------
+
+    @property
+    def n_cores(self):
+        """Number of cores in the system."""
+        return len(self.cores)
+
+    def max_cycle(self):
+        """The finishing core's cycle count (total execution time)."""
+        return max(core.cycle for core in self.cores)
+
+    def min_cycle(self):
+        """The laggard core's cycle count."""
+        return min(core.cycle for core in self.cores)
+
+    def crash(self):
+        """Power failure: every volatile structure loses its contents."""
+        self.hierarchy.invalidate_all()

@@ -1,0 +1,12 @@
+"""Experiment harness: one module per figure/table of the paper.
+
+Each ``figNN`` module exposes ``run(preset)`` returning a structured result
+and ``main()`` printing the same rows/series the paper reports; the
+benchmark suite under ``benchmarks/`` wraps these. ``presets`` centralizes
+the system scale and instruction budgets; ``report`` holds the table
+printers; ``calibrate`` is the tool used to tune the workload profiles.
+"""
+
+from repro.experiments.presets import Preset, get_preset
+
+__all__ = ["Preset", "get_preset"]

@@ -1,0 +1,167 @@
+"""Ablation studies on PiCL's design choices (DESIGN.md §4).
+
+The paper fixes several parameters with one-line justifications; these
+sweeps chart the trade-offs behind them:
+
+* **ACS-gap** — deferring persistency saves bandwidth (lines rewritten
+  within the gap never need an in-place write) at the cost of persist
+  latency (the recovery point lags by ``gap`` epochs).
+* **Undo buffer size** — 2 KB matches the NVM row buffer; smaller buffers
+  flush sub-row bursts, larger ones add queueing.
+* **Bloom filter size** — small filters force spurious buffer flushes on
+  evictions ("4096 bits vs 32 entries" makes them negligible).
+* **Tracking granularity** — OpenPiton's 16 B sub-blocks vs the default
+  64 B lines: more, smaller undo entries.
+* **Epoch length** — PiCL "has reliable performance when using
+  checkpoints of up to 100 ms".
+"""
+
+import dataclasses
+
+from repro.core.picl import PiclConfig
+from repro.experiments.presets import get_preset
+from repro.sim.sweep import run_single
+
+DEFAULT_BENCHMARKS = ("gcc", "lbm", "astar")
+
+
+def _overhead(config, benchmark, n_instructions, seed):
+    ideal = run_single(config, "ideal", benchmark, n_instructions, seed)
+    picl = run_single(config, "picl", benchmark, n_instructions, seed)
+    return picl, picl.normalized_to(ideal)
+
+
+def sweep_acs_gap(preset=None, gaps=(0, 1, 3), benchmarks=DEFAULT_BENCHMARKS):
+    """Returns {gap: {benchmark: {overhead, acs_writebacks, persist_lag}}}."""
+    preset = get_preset(preset)
+    results = {}
+    for gap in gaps:
+        config = preset.config()
+        config.picl = dataclasses.replace(config.picl, acs_gap=gap)
+        n_instructions = preset.instructions(config)
+        per_bench = {}
+        for index, benchmark in enumerate(benchmarks):
+            seed = preset.seed + index * 7919
+            picl, overhead = _overhead(config, benchmark, n_instructions, seed)
+            per_bench[benchmark] = {
+                "overhead": overhead,
+                "acs_writebacks": picl.stat("acs.writebacks"),
+                "persist_lag_epochs": gap,
+            }
+        results[gap] = per_bench
+    return results
+
+
+def sweep_undo_buffer(
+    preset=None, entry_counts=(8, 32, 128), benchmarks=DEFAULT_BENCHMARKS
+):
+    """Returns {entries: {benchmark: {overhead, buffer_flushes}}}."""
+    preset = get_preset(preset)
+    results = {}
+    for entries in entry_counts:
+        config = preset.config()
+        config.picl = dataclasses.replace(
+            config.picl,
+            undo_buffer_entries=entries,
+            undo_flush_bytes=entries * 72,
+        )
+        n_instructions = preset.instructions(config)
+        per_bench = {}
+        for index, benchmark in enumerate(benchmarks):
+            seed = preset.seed + index * 7919
+            picl, overhead = _overhead(config, benchmark, n_instructions, seed)
+            per_bench[benchmark] = {
+                "overhead": overhead,
+                "buffer_flushes": picl.stat("undo.buffer_flushes"),
+            }
+        results[entries] = per_bench
+    return results
+
+
+def sweep_bloom_bits(
+    preset=None, bit_sizes=(64, 1024, 4096), benchmarks=DEFAULT_BENCHMARKS
+):
+    """Returns {bits: {benchmark: {forced_flushes, false_positives}}}."""
+    preset = get_preset(preset)
+    results = {}
+    for bits in bit_sizes:
+        config = preset.config()
+        config.picl = dataclasses.replace(config.picl, bloom_bits=bits)
+        n_instructions = preset.instructions(config)
+        per_bench = {}
+        for index, benchmark in enumerate(benchmarks):
+            seed = preset.seed + index * 7919
+            picl = run_single(config, "picl", benchmark, n_instructions, seed)
+            per_bench[benchmark] = {
+                "forced_flushes": picl.stat("undo.forced_flushes"),
+                "false_positives": picl.stat("undo.bloom_false_positives"),
+            }
+        results[bits] = per_bench
+    return results
+
+
+def sweep_granularity(preset=None, benchmarks=DEFAULT_BENCHMARKS):
+    """Returns {granularity: {benchmark: {overhead, log_bytes, entries}}}."""
+    preset = get_preset(preset)
+    results = {}
+    for granularity in (64, 16):
+        config = preset.config()
+        config.picl = dataclasses.replace(
+            config.picl, tracking_granularity=granularity
+        )
+        n_instructions = preset.instructions(config)
+        per_bench = {}
+        for index, benchmark in enumerate(benchmarks):
+            seed = preset.seed + index * 7919
+            picl, overhead = _overhead(config, benchmark, n_instructions, seed)
+            per_bench[benchmark] = {
+                "overhead": overhead,
+                "log_bytes": picl.log_bytes_appended,
+                "entries": picl.stat("undo.entries_created"),
+            }
+        results[granularity] = per_bench
+    return results
+
+
+def sweep_epoch_length(
+    preset=None, multipliers=(0.25, 1, 8), benchmarks=DEFAULT_BENCHMARKS
+):
+    """Returns {multiplier: {benchmark: {overhead, log_bytes}}}.
+
+    Multiplies the default 30 M-instruction epoch; x16 approximates the
+    paper's "up to 100 ms" claim at the default clock.
+    """
+    preset = get_preset(preset)
+    results = {}
+    for multiplier in multipliers:
+        base = preset.config()
+        config = preset.config(
+            epoch_instructions=max(1000, int(base.epoch_instructions * multiplier))
+        )
+        n_instructions = preset.instructions(base)  # same work for all points
+        per_bench = {}
+        for index, benchmark in enumerate(benchmarks):
+            seed = preset.seed + index * 7919
+            picl, overhead = _overhead(config, benchmark, n_instructions, seed)
+            per_bench[benchmark] = {
+                "overhead": overhead,
+                "log_bytes": picl.log_bytes_appended,
+            }
+        results[multiplier] = per_bench
+    return results
+
+
+def format_sweep(results, metric, label, value_label):
+    """Render one metric of a sweep as a text table."""
+    from repro.experiments.report import format_table
+
+    benchmarks = sorted(next(iter(results.values())))
+    headers = [label] + benchmarks
+    rows = []
+    for point in sorted(results):
+        row = [str(point)]
+        for benchmark in benchmarks:
+            row.append(results[point][benchmark][metric])
+        rows.append(row)
+    del value_label
+    return format_table(headers, rows, first_col_width=12)

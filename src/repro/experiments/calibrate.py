@@ -1,0 +1,121 @@
+"""Workload-profile calibration tool.
+
+Runs each benchmark profile against the Ideal-NVM system and reports the
+quantities the figures are sensitive to:
+
+* IPC and hierarchy hit rates (sanity: compute-bound benchmarks should be
+  fast, streaming/pointer ones memory-bound),
+* distinct 64 B blocks and 4 KB pages *stored to* per scheduled epoch —
+  these, measured against the translation-table capacities, determine how
+  often Journaling/Shadow-Paging overflow (Fig 11/14),
+* dirty-line counts at epoch boundaries (flush volume for Fig 9/15).
+
+Run as ``python -m repro.experiments.calibrate [preset]``.
+"""
+
+import sys
+
+from repro.common.address import page_address
+from repro.experiments.presets import get_preset
+from repro.sim.simulator import Simulation
+from repro.trace.profiles import BENCHMARKS, get_profile
+from repro.trace.synthetic import make_trace
+
+
+def trace_write_sets(profile, n_instructions, epoch_instructions, seed):
+    """Distinct blocks/pages stored per epoch, straight from the trace."""
+    trace = make_trace(profile, n_instructions, seed=seed)
+    blocks = set()
+    pages = set()
+    per_epoch_blocks = []
+    per_epoch_pages = []
+    instructions = 0
+    boundary = epoch_instructions
+    for chunk in trace.chunks():
+        for gap, addr, is_write in zip(chunk.gaps, chunk.addrs, chunk.writes):
+            instructions += gap + 1
+            if is_write:
+                blocks.add(addr)
+                pages.add(page_address(addr))
+            if instructions >= boundary:
+                per_epoch_blocks.append(len(blocks))
+                per_epoch_pages.append(len(pages))
+                blocks.clear()
+                pages.clear()
+                boundary += epoch_instructions
+    return per_epoch_blocks, per_epoch_pages
+
+
+def calibrate_one(name, preset):
+    """Measure one benchmark's calibration quantities."""
+    config = preset.config()
+    profile = config.scale_profile(get_profile(name))
+    n_instr = preset.instructions(config)
+    sim = Simulation(config, "ideal", [name], n_instr, seed=preset.seed)
+    result = sim.run()
+    stats = result.stats
+    refs = stats.get("loads") + stats.get("stores")
+    l1_rate = stats.get("l1.hits") / max(1, refs)
+    llc_miss_rate = stats.get("llc.misses") / max(1, refs)
+    blocks, pages = trace_write_sets(
+        profile, n_instr, config.epoch_instructions, preset.seed
+    )
+    mean_blocks = sum(blocks) / max(1, len(blocks))
+    mean_pages = sum(pages) / max(1, len(pages))
+    return {
+        "benchmark": name,
+        "ipc": result.ipc,
+        "l1_hit_rate": l1_rate,
+        "llc_miss_rate": llc_miss_rate,
+        "blocks_per_epoch": mean_blocks,
+        "pages_per_epoch": mean_pages,
+        "journal_pressure": mean_blocks / config.journal_table_entries,
+        "shadow_pressure": mean_pages / config.shadow_table_entries,
+    }
+
+
+def main(argv=None):
+    """Print the calibration table for every benchmark."""
+    argv = argv if argv is not None else sys.argv[1:]
+    preset = get_preset(argv[0] if argv else None)
+    config = preset.config()
+    print(
+        "preset=%s scale=%d epoch=%d instr jtable=%d stable=%d"
+        % (
+            preset.name,
+            config.scale,
+            config.epoch_instructions,
+            config.journal_table_entries,
+            config.shadow_table_entries,
+        )
+    )
+    header = "%-12s %6s %6s %6s %9s %8s %7s %7s" % (
+        "benchmark",
+        "ipc",
+        "l1%",
+        "llcM%",
+        "blk/ep",
+        "pg/ep",
+        "Jx",
+        "Sx",
+    )
+    print(header)
+    for name in BENCHMARKS:
+        row = calibrate_one(name, preset)
+        print(
+            "%-12s %6.3f %6.1f %6.1f %9.0f %8.0f %7.1f %7.1f"
+            % (
+                row["benchmark"],
+                row["ipc"],
+                row["l1_hit_rate"] * 100,
+                row["llc_miss_rate"] * 100,
+                row["blocks_per_epoch"],
+                row["pages_per_epoch"],
+                row["journal_pressure"],
+                row["shadow_pressure"],
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

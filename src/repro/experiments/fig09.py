@@ -1,0 +1,72 @@
+"""Fig 9: single-core total execution time, normalized to Ideal NVM.
+
+Paper: across SPEC CPU2006, prior work slows execution by up to ~10.7x
+(Journaling on fast, overflow-prone benchmarks) while "PiCL provides crash
+consistency with almost no overhead" — only rare cases like sphinx3 lose
+1-2% to undo-buffer flushes blocking other requests. Lower is better.
+"""
+
+import sys
+
+from repro.experiments.presets import get_preset
+from repro.experiments.report import format_table, geomean, print_header
+from repro.sim.sweep import run_single
+from repro.trace.profiles import BENCHMARKS
+
+#: The schemes Fig 9 plots, in its legend order.
+SCHEMES = ("journaling", "shadow", "frm", "thynvm", "picl")
+
+
+def run(preset=None, benchmarks=None, epochs=None):
+    """Returns {benchmark: {scheme: normalized_execution_time}}."""
+    preset = get_preset(preset)
+    config = preset.config()
+    n_instructions = preset.instructions(config, epochs)
+    benchmarks = benchmarks if benchmarks is not None else BENCHMARKS
+    normalized = {}
+    for index, benchmark in enumerate(benchmarks):
+        seed = preset.seed + index * 7919
+        ideal = run_single(config, "ideal", benchmark, n_instructions, seed)
+        row = {}
+        for scheme in SCHEMES:
+            result = run_single(config, scheme, benchmark, n_instructions, seed)
+            row[scheme] = result.normalized_to(ideal)
+        normalized[benchmark] = row
+    return normalized
+
+
+def add_gmean(normalized):
+    """Append the GMean row the figure reports."""
+    gmean_row = {
+        scheme: geomean(row[scheme] for row in normalized.values())
+        for scheme in SCHEMES
+    }
+    return gmean_row
+
+
+def format_result(normalized):
+    """Render the figure\'s rows as a text table."""
+    rows = [
+        [benchmark] + [row[scheme] for scheme in SCHEMES]
+        for benchmark, row in normalized.items()
+    ]
+    gmean_row = add_gmean(normalized)
+    rows.append(["GMean"] + [gmean_row[scheme] for scheme in SCHEMES])
+    return format_table(["benchmark"] + list(SCHEMES), rows)
+
+
+def main(argv=None):
+    """Print the figure for the preset named in argv."""
+    argv = argv if argv is not None else sys.argv[1:]
+    preset = get_preset(argv[0] if argv else None)
+    print_header(
+        "Fig 9: single-core execution time normalized to Ideal NVM "
+        "(lower is better)",
+        preset,
+        preset.config(),
+    )
+    print(format_result(run(preset)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Fig 10: eight-thread multiprogram performance, normalized to Ideal NVM.
+
+Paper: on the Table V mixes W0-W7, prior work costs 1.6x-2.6x while PiCL
+stays at ~1.0x — the multi-core case is where synchronous cache flushes
+(16 MB of shared LLC) and translation-table pressure (eight write sets in
+one table) hurt the most. Lower is better.
+"""
+
+import sys
+
+from repro.experiments.presets import get_preset
+from repro.experiments.report import format_table, geomean, print_header
+from repro.sim.sweep import run_mix
+from repro.trace.mixes import mix_names
+
+SCHEMES = ("journaling", "shadow", "frm", "thynvm", "picl")
+
+#: Multiprogram runs are eight times the work of single-core ones; two
+#: epochs per run keep the experiment tractable at the default presets.
+DEFAULT_EPOCHS = 2
+
+
+def run(preset=None, mixes=None, epochs=DEFAULT_EPOCHS):
+    """Returns {mix: {scheme: normalized_execution_time}}."""
+    preset = get_preset(preset)
+    config = preset.config(n_cores=8)
+    n_instructions = preset.instructions(config, epochs) // config.n_cores
+    mixes = mixes if mixes is not None else mix_names()
+    normalized = {}
+    for index, mix in enumerate(mixes):
+        seed = preset.seed + index * 104729
+        ideal = run_mix(config, "ideal", mix, n_instructions, seed)
+        row = {}
+        for scheme in SCHEMES:
+            result = run_mix(config, scheme, mix, n_instructions, seed)
+            row[scheme] = result.normalized_to(ideal)
+        normalized[mix] = row
+    return normalized
+
+
+def format_result(normalized):
+    """Render the figure\'s rows as a text table."""
+    rows = [
+        [mix] + [row[scheme] for scheme in SCHEMES]
+        for mix, row in normalized.items()
+    ]
+    rows.append(
+        ["GMean"]
+        + [
+            geomean(row[scheme] for row in normalized.values())
+            for scheme in SCHEMES
+        ]
+    )
+    return format_table(["mix"] + list(SCHEMES), rows)
+
+
+def main(argv=None):
+    """Print the figure for the preset named in argv."""
+    argv = argv if argv is not None else sys.argv[1:]
+    preset = get_preset(argv[0] if argv else None)
+    print_header(
+        "Fig 10: eight-thread multiprogram execution time normalized to "
+        "Ideal NVM (lower is better)",
+        preset,
+        preset.config(n_cores=8),
+    )
+    print(format_result(run(preset)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Fig 11: average number of commits per default epoch interval.
+
+Paper: by default there is one commit per 30 M instructions, but
+translation-table overflow forces redo-based schemes to commit early —
+"Journaling can commit as much as 16 to 64 more frequently than PiCL".
+Undo-based schemes (PiCL, FRM) never overflow, so they stay at 1.0.
+Lower is better; the paper plots Journaling, Shadow, and PiCL.
+"""
+
+import sys
+
+from repro.experiments.presets import get_preset
+from repro.experiments.report import format_table, geomean, print_header
+from repro.sim.sweep import run_single
+from repro.trace.profiles import BENCHMARKS
+
+SCHEMES = ("journaling", "shadow", "picl")
+
+
+def run(preset=None, benchmarks=None, epochs=None):
+    """Returns {benchmark: {scheme: commits_per_epoch}}."""
+    preset = get_preset(preset)
+    config = preset.config()
+    n_instructions = preset.instructions(config, epochs)
+    benchmarks = benchmarks if benchmarks is not None else BENCHMARKS
+    commits = {}
+    for index, benchmark in enumerate(benchmarks):
+        seed = preset.seed + index * 7919
+        row = {}
+        for scheme in SCHEMES:
+            result = run_single(config, scheme, benchmark, n_instructions, seed)
+            row[scheme] = result.commits_per_epoch
+        commits[benchmark] = row
+    return commits
+
+
+def format_result(commits):
+    """Render the figure\'s rows as a text table."""
+    rows = [
+        [benchmark] + [row[scheme] for scheme in SCHEMES]
+        for benchmark, row in commits.items()
+    ]
+    rows.append(
+        ["GMean"]
+        + [
+            geomean(row[scheme] for row in commits.values())
+            for scheme in SCHEMES
+        ]
+    )
+    return format_table(["benchmark"] + list(SCHEMES), rows)
+
+
+def main(argv=None):
+    """Print the figure for the preset named in argv."""
+    argv = argv if argv is not None else sys.argv[1:]
+    preset = get_preset(argv[0] if argv else None)
+    print_header(
+        "Fig 11: commits per default epoch interval (lower is better; "
+        "1.0 = never forced)",
+        preset,
+        preset.config(),
+    )
+    print(format_result(run(preset)))
+
+
+if __name__ == "__main__":
+    main()

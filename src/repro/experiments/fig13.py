@@ -1,0 +1,73 @@
+"""Fig 13: PiCL undo-log size for eight epochs (240 M instructions).
+
+Paper: "the majority of workloads consumes less than 5 MB of log storage
+per eight epochs. For workloads that do produce the heaviest of logging,
+they remain within a few hundreds of megabytes" — well within NVM
+capacities. We run exactly eight epochs of PiCL per benchmark and report
+the log bytes appended, scaled back to the paper's full-size system.
+"""
+
+import sys
+
+from repro.common.units import MB
+from repro.experiments.presets import get_preset
+from repro.experiments.report import amean, format_table, print_header
+from repro.sim.sweep import run_single
+from repro.trace.profiles import BENCHMARKS
+
+#: The figure measures eight epochs' worth of logging.
+EPOCHS = 8
+
+
+def run(preset=None, benchmarks=None):
+    """Returns {benchmark: (model_scale_mb, extrapolated_paper_mb)}.
+
+    The first number is what the scaled system actually logged; the second
+    multiplies by the system scale (a linear extrapolation that
+    overestimates mid-tier workloads, whose full-size write sets saturate
+    well below working-set size — see EXPERIMENTS.md).
+    """
+    preset = get_preset(preset)
+    config = preset.config()
+    n_instructions = config.epoch_instructions * EPOCHS
+    benchmarks = benchmarks if benchmarks is not None else BENCHMARKS
+    log_mb = {}
+    for index, benchmark in enumerate(benchmarks):
+        seed = preset.seed + index * 7919
+        result = run_single(config, "picl", benchmark, n_instructions, seed)
+        log_mb[benchmark] = (
+            result.log_bytes_appended / MB,
+            result.log_bytes_scaled_to_paper() / MB,
+        )
+    return log_mb
+
+
+def format_result(log_mb):
+    """Render the figure\'s rows as a text table."""
+    rows = [[benchmark, raw, big] for benchmark, (raw, big) in log_mb.items()]
+    rows.append(
+        ["AMean"]
+        + [
+            amean(values)
+            for values in zip(*log_mb.values())
+        ]
+    )
+    return format_table(
+        ["benchmark", "model MB", "extrapolated MB"], rows, col_width=18
+    )
+
+
+def main(argv=None):
+    """Print the figure for the preset named in argv."""
+    argv = argv if argv is not None else sys.argv[1:]
+    preset = get_preset(argv[0] if argv else None)
+    print_header(
+        "Fig 13: PiCL undo log size for eight epochs, at paper scale",
+        preset,
+        preset.config(),
+    )
+    print(format_result(run(preset)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Fig 15: sensitivity to on-chip cache size.
+
+Paper: "the larger the on-chip cache, the longer it takes to synchronously
+flush the dirty data at each checkpoint. PiCL generally has no performance
+overhead across cache sizes because it asynchronously and opportunistically
+scans dirty data. It is noteworthy that ThyNVM's overhead grows faster than
+other schemes" (redo-buffer pressure across epochs). We sweep the LLC from
+1x to 8x the Table IV size and report the per-scheme geometric-mean
+overhead across a representative workload subset.
+"""
+
+import sys
+
+from repro.experiments.presets import get_preset
+from repro.experiments.report import format_table, geomean, print_header
+from repro.sim.sweep import run_single
+
+SCHEMES = ("journaling", "shadow", "frm", "thynvm", "picl")
+
+#: LLC size multipliers relative to Table IV's 2 MB/core.
+LLC_MULTIPLIERS = (1, 2, 4, 8)
+
+#: A subset spanning the workload categories (full Fig 9 x LLC sweep would
+#: be 29x4x6 runs).
+BENCHMARKS = ("gcc", "bzip2", "lbm", "gobmk")
+
+
+def run(preset=None, benchmarks=BENCHMARKS, multipliers=LLC_MULTIPLIERS, epochs=None):
+    """Returns {multiplier: {scheme: gmean_normalized_execution}}."""
+    preset = get_preset(preset)
+    sweep = {}
+    for multiplier in multipliers:
+        base = preset.config()
+        config = preset.config(
+            llc_size_per_core=base.llc_size_per_core * multiplier
+        )
+        n_instructions = preset.instructions(config, epochs)
+        per_scheme = {scheme: [] for scheme in SCHEMES}
+        for index, benchmark in enumerate(benchmarks):
+            seed = preset.seed + index * 7919
+            ideal = run_single(config, "ideal", benchmark, n_instructions, seed)
+            for scheme in SCHEMES:
+                result = run_single(
+                    config, scheme, benchmark, n_instructions, seed
+                )
+                per_scheme[scheme].append(result.normalized_to(ideal))
+        sweep[multiplier] = {
+            scheme: geomean(values) for scheme, values in per_scheme.items()
+        }
+    return sweep
+
+
+def format_result(sweep, base_llc_kb):
+    """Render the figure\'s rows as a text table."""
+    rows = [
+        ["%dx (%dKB)" % (multiplier, base_llc_kb * multiplier)]
+        + [per_scheme[scheme] for scheme in SCHEMES]
+        for multiplier, per_scheme in sweep.items()
+    ]
+    return format_table(["LLC size"] + list(SCHEMES), rows, first_col_width=14)
+
+
+def main(argv=None):
+    """Print the figure for the preset named in argv."""
+    argv = argv if argv is not None else sys.argv[1:]
+    preset = get_preset(argv[0] if argv else None)
+    config = preset.config()
+    print_header(
+        "Fig 15: gmean execution time normalized to Ideal NVM vs LLC size "
+        "(lower is better)",
+        preset,
+        config,
+    )
+    print(format_result(run(preset), config.llc_size_per_core // 1024))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Fig 16: sensitivity to NVM write latency.
+
+The paper's source text truncates mid-sentence here ("NVM write latencies:
+To see how different byte-addressable NVMs with different write latencies
+would affect the results, ..."), so we reproduce the study it sets up: the
+row-miss write latency is swept from DRAM-like (68 ns) through Table IV's
+368 ns to slow SCM (968 ns), and each scheme's gmean overhead is reported.
+Schemes that put random writes or synchronous flushes on the critical path
+degrade with write latency; PiCL's sequential, posted logging should not.
+"""
+
+import dataclasses
+import sys
+
+from repro.experiments.presets import get_preset
+from repro.experiments.report import format_table, geomean, print_header
+from repro.mem.timing import NvmTimings
+from repro.sim.sweep import run_single
+
+SCHEMES = ("journaling", "shadow", "frm", "thynvm", "picl")
+
+#: Row-miss write latencies (ns); Table IV's default is 368.
+WRITE_LATENCIES_NS = (68, 368, 968)
+
+BENCHMARKS = ("gcc", "bzip2", "lbm", "gobmk")
+
+
+def run(preset=None, benchmarks=BENCHMARKS, latencies=WRITE_LATENCIES_NS, epochs=None):
+    """Returns {write_ns: {scheme: gmean_normalized_execution}}."""
+    preset = get_preset(preset)
+    sweep = {}
+    for write_ns in latencies:
+        config = preset.config(nvm=NvmTimings(row_write_ns=float(write_ns)))
+        n_instructions = preset.instructions(config, epochs)
+        per_scheme = {scheme: [] for scheme in SCHEMES}
+        for index, benchmark in enumerate(benchmarks):
+            seed = preset.seed + index * 7919
+            ideal = run_single(config, "ideal", benchmark, n_instructions, seed)
+            for scheme in SCHEMES:
+                result = run_single(
+                    config, scheme, benchmark, n_instructions, seed
+                )
+                per_scheme[scheme].append(result.normalized_to(ideal))
+        sweep[write_ns] = {
+            scheme: geomean(values) for scheme, values in per_scheme.items()
+        }
+    return sweep
+
+
+def format_result(sweep):
+    """Render the figure\'s rows as a text table."""
+    rows = [
+        ["%d ns" % write_ns] + [per_scheme[scheme] for scheme in SCHEMES]
+        for write_ns, per_scheme in sweep.items()
+    ]
+    return format_table(["row write"] + list(SCHEMES), rows)
+
+
+def main(argv=None):
+    """Print the figure for the preset named in argv."""
+    argv = argv if argv is not None else sys.argv[1:]
+    preset = get_preset(argv[0] if argv else None)
+    print_header(
+        "Fig 16: gmean execution time normalized to Ideal NVM vs NVM "
+        "row-write latency (lower is better)",
+        preset,
+        preset.config(),
+    )
+    print(format_result(run(preset)))
+
+
+if __name__ == "__main__":
+    main()

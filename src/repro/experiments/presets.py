@@ -1,0 +1,64 @@
+"""Experiment presets: system scale and instruction budgets.
+
+The paper simulates the most representative 1 B cycles of each benchmark
+(multiprogram: 250 M instructions per core). A pure-Python model cannot do
+that, so experiments run the whole system shrunk by a power-of-two factor
+(see :meth:`repro.sim.config.SystemConfig.scaled`) with proportionally
+shorter traces. Two presets are provided:
+
+* ``quick`` — scale 128, ~5 epochs per run: seconds per data point; used
+  by default and in CI.
+* ``full`` — scale 64, ~8 epochs per run: the numbers EXPERIMENTS.md
+  records.
+
+Select with the ``REPRO_PRESET`` environment variable (``quick``/``full``)
+or pass a :class:`Preset` explicitly.
+"""
+
+import dataclasses
+import os
+
+from repro.sim.config import SystemConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class Preset:
+    """One experiment sizing."""
+
+    name: str
+    scale: int
+    epochs_per_run: int
+    seed: int = 20180101  # MICRO 2018
+
+    def config(self, **overrides):
+        """The scaled system config for this preset."""
+        return SystemConfig().scaled(self.scale, **overrides)
+
+    def instructions(self, config=None, epochs=None):
+        """Instruction budget giving ``epochs_per_run`` scheduled epochs."""
+        if config is None:
+            config = self.config()
+        if epochs is None:
+            epochs = self.epochs_per_run
+        return config.epoch_instructions * epochs * config.n_cores
+
+
+PRESETS = {
+    "ci": Preset("ci", scale=512, epochs_per_run=3),
+    "quick": Preset("quick", scale=128, epochs_per_run=4),
+    "full": Preset("full", scale=64, epochs_per_run=8),
+}
+
+
+def get_preset(name=None):
+    """Resolve a preset by name, argument, or ``REPRO_PRESET`` env var."""
+    if isinstance(name, Preset):
+        return name
+    if name is None:
+        name = os.environ.get("REPRO_PRESET", "quick")
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            "unknown preset %r; known: %s" % (name, ", ".join(sorted(PRESETS)))
+        ) from None

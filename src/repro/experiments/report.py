@@ -1,0 +1,67 @@
+"""Table/series printers shared by the experiment modules.
+
+Every figure module prints the same rows/series the paper's plot shows, as
+plain text tables (the repository has no plotting dependency on purpose —
+the numbers are the reproduction artifact; see EXPERIMENTS.md).
+"""
+
+import math
+
+
+def geomean(values):
+    """Geometric mean (the paper's GMean columns)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def amean(values):
+    """Arithmetic mean (Fig 13 uses AMean)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def format_table(headers, rows, col_width=11, first_col_width=12):
+    """Render a list-of-lists as an aligned text table.
+
+    ``rows`` items are ``[label, value, value, ...]``; numeric values are
+    formatted to three significant decimals.
+    """
+    def fmt(value, width):
+        """Format one cell, right-aligned."""
+        if isinstance(value, float):
+            return ("%.*f" % (3 if abs(value) < 10 else 2 if abs(value) < 100 else 1, value)).rjust(width)
+        return str(value).rjust(width)
+
+    lines = []
+    header_line = headers[0].ljust(first_col_width) + "".join(
+        str(h).rjust(col_width) for h in headers[1:]
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        line = str(row[0]).ljust(first_col_width) + "".join(
+            fmt(value, col_width) for value in row[1:]
+        )
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def print_header(title, preset, config):
+    """Standard experiment banner."""
+    print("=" * 72)
+    print(title)
+    print(
+        "preset=%s  scale=1/%d  epoch=%s instr  llc=%d KB/core  cores=%d"
+        % (
+            preset.name,
+            config.scale,
+            config.epoch_instructions,
+            config.llc_size_per_core // 1024,
+            config.n_cores,
+        )
+    )
+    print("=" * 72)

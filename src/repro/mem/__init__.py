@@ -1,0 +1,27 @@
+"""Nonvolatile main-memory substrate.
+
+This package models the NVM device (row-buffer timing, sequential vs random
+access cost), the memory controller (FCFS, closed-page, posted writes with
+backpressure), the functional memory image used for crash-recovery checking,
+the log region allocator used by every write-ahead-logging scheme, and the
+optional DRAM memory-side cache extension described in the paper's §IV-C.
+"""
+
+from repro.mem.controller import MemoryController
+from repro.mem.dram_cache import DramCache, DramCacheMode
+from repro.mem.image import MemoryImage
+from repro.mem.log_region import LogRegion, SuperBlock
+from repro.mem.nvm import AccessCategory, NvmDevice
+from repro.mem.timing import NvmTimings
+
+__all__ = [
+    "NvmTimings",
+    "NvmDevice",
+    "AccessCategory",
+    "MemoryController",
+    "MemoryImage",
+    "LogRegion",
+    "SuperBlock",
+    "DramCache",
+    "DramCacheMode",
+]

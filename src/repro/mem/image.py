@@ -1,0 +1,63 @@
+"""Functional memory image.
+
+The simulator does not move real bytes around; instead every store is given
+a unique integer *token* by the system, and the image maps line addresses to
+the token of the last value written there. Tokens make crash-recovery
+checking exact: after recovery, the image must equal, token for token, the
+reference snapshot taken at the persisted epoch's boundary.
+
+Unwritten lines read as token 0 ("initial contents").
+"""
+
+INITIAL_TOKEN = 0
+
+
+class MemoryImage:
+    """Mapping of line address -> token of the value stored there."""
+
+    def __init__(self):
+        self._lines = {}
+
+    def read(self, line_addr):
+        """Return the token stored at ``line_addr`` (0 if never written)."""
+        return self._lines.get(line_addr, INITIAL_TOKEN)
+
+    def write(self, line_addr, token):
+        """Store ``token`` at ``line_addr``."""
+        self._lines[line_addr] = token
+
+    def snapshot(self):
+        """Return a frozen copy of the image for later comparison."""
+        return dict(self._lines)
+
+    def restore(self, snapshot):
+        """Replace the image's contents with ``snapshot``."""
+        self._lines = dict(snapshot)
+
+    def written_lines(self):
+        """Iterate over the line addresses that were ever written."""
+        return iter(self._lines)
+
+    def equals_snapshot(self, snapshot):
+        """Token-exact comparison against a snapshot (0s are equivalent)."""
+        for addr, token in self._lines.items():
+            if snapshot.get(addr, INITIAL_TOKEN) != token:
+                return False
+        for addr, token in snapshot.items():
+            if token != INITIAL_TOKEN and self._lines.get(addr, INITIAL_TOKEN) != token:
+                return False
+        return True
+
+    def differences(self, snapshot):
+        """Return {addr: (image_token, snapshot_token)} for mismatched lines."""
+        diffs = {}
+        addrs = set(self._lines) | set(snapshot)
+        for addr in addrs:
+            mine = self._lines.get(addr, INITIAL_TOKEN)
+            theirs = snapshot.get(addr, INITIAL_TOKEN)
+            if mine != theirs:
+                diffs[addr] = (mine, theirs)
+        return diffs
+
+    def __len__(self):
+        return len(self._lines)

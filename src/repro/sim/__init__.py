@@ -1,0 +1,25 @@
+"""Trace-driven simulator tying the substrates together.
+
+:class:`SystemConfig` carries Table IV's parameters plus a coherent
+*system scale* knob (caches, translation tables, epoch lengths, and
+working sets all shrink together so the paper's capacity ratios survive on
+a laptop); :class:`Simulation` drives one or more traces through a system
+with a chosen scheme; :mod:`repro.sim.sweep` runs the scheme-by-benchmark
+grids the experiment harness is built on.
+"""
+
+from repro.sim.config import SystemConfig
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import SCHEME_NAMES, Simulation, build_scheme
+from repro.sim.sweep import run_matrix, run_mix, run_single
+
+__all__ = [
+    "SystemConfig",
+    "Simulation",
+    "SimulationResult",
+    "SCHEME_NAMES",
+    "build_scheme",
+    "run_single",
+    "run_matrix",
+    "run_mix",
+]

@@ -1,0 +1,119 @@
+"""System configuration (Table IV) and coherent scaling.
+
+``SystemConfig()`` reproduces the paper's system: 2 GHz in-order cores,
+32 KB L1 / 256 KB L2 private, 2 MB-per-core shared LLC, a 12.8 GB/s link
+to an NVM with 128/368 ns row read/write, 30 M-instruction epochs, and the
+prior-work translation tables at 6144 (Journaling, Shadow) and 2048+4096
+(ThyNVM) entries.
+
+Running SPEC-length traces (the paper simulates 1 B cycles per benchmark)
+is not feasible in a pure-Python model, so :meth:`SystemConfig.scaled`
+shrinks the *whole* system by one power-of-two factor: cache capacities,
+translation tables, epoch lengths, and (via
+:meth:`repro.trace.profiles.WorkloadProfile.scaled`) working sets. Because
+every capacity shrinks together, the capacity *ratios* that produce the
+paper's effects — flush cost relative to epoch length, write set relative
+to table capacity — are preserved. NVM latencies, the undo buffer, the
+row buffer, and the bloom filter stay at hardware scale (they are device
+properties, not capacities to shrink).
+"""
+
+import dataclasses
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import KB, MB, is_power_of_two
+from repro.core.picl import PiclConfig
+from repro.mem.timing import NvmTimings
+
+
+@dataclasses.dataclass
+class SystemConfig:
+    """Everything needed to build one simulated system."""
+
+    n_cores: int = 1
+
+    # --- cache hierarchy (Table IV) -----------------------------------
+    l1_size: int = 32 * KB
+    l1_assoc: int = 4
+    l1_latency: int = 1
+    l2_size: int = 256 * KB
+    l2_assoc: int = 8
+    l2_latency: int = 4
+    llc_size_per_core: int = 2 * MB
+    llc_assoc: int = 8
+    llc_latency: int = 30
+    line_size: int = 64
+    store_miss_factor: float = 0.5
+
+    # --- epochs ---------------------------------------------------------
+    #: Default epoch length ("epoch length is set to 30-million
+    #: instructions by default to be consistent with prior work").
+    epoch_instructions: int = 30_000_000
+    epoch_handler_cycles: int = 1000
+
+    # --- NVM --------------------------------------------------------------
+    nvm: NvmTimings = dataclasses.field(default_factory=NvmTimings)
+
+    # --- prior-work translation tables (paper methodology) ---------------
+    journal_table_entries: int = 6144
+    shadow_table_entries: int = 6144
+    thynvm_block_entries: int = 2048
+    thynvm_page_entries: int = 4096
+    table_assoc: int = 16
+
+    # --- PiCL -------------------------------------------------------------
+    picl: PiclConfig = dataclasses.field(default_factory=PiclConfig)
+
+    # --- bookkeeping --------------------------------------------------------
+    #: System scale divisor applied (1 = the paper's full-size system).
+    scale: int = 1
+    #: Track architectural snapshots for recovery checking (costs memory).
+    track_reference: bool = False
+    reference_depth: int = 12
+
+    def __post_init__(self):
+        if self.n_cores <= 0:
+            raise ConfigurationError("n_cores must be positive")
+        if self.epoch_instructions <= 0:
+            raise ConfigurationError("epoch_instructions must be positive")
+        if not is_power_of_two(self.scale):
+            raise ConfigurationError("scale must be a power of two")
+
+    def scaled(self, scale, **overrides):
+        """Return a copy of this config shrunk by a power-of-two ``scale``."""
+        if not is_power_of_two(scale):
+            raise ConfigurationError("scale must be a power of two")
+
+        def shrink_cache(size, floor):
+            """Divide a cache size by the scale, respecting its floor."""
+            # Private caches keep a minimum size: a sub-kilobyte L1 would
+            # lose the hot-set filtering that every real hierarchy has,
+            # distorting miss rates far more than the capacity ratios the
+            # scaling is meant to preserve.
+            return max(floor, size // scale)
+
+        def shrink_table(entries):
+            """Divide a table's entry count by the scale (min four sets)."""
+            # Keep at least four sets: a one-set table's conflict behaviour
+            # is pathological in a way the full-size table's is not.
+            return max(4 * self.table_assoc, entries // scale)
+
+        fields = dict(
+            l1_size=shrink_cache(self.l1_size, 4 * KB),
+            l2_size=shrink_cache(self.l2_size, 16 * KB),
+            llc_size_per_core=shrink_cache(self.llc_size_per_core, 32 * KB),
+            epoch_instructions=max(1000, self.epoch_instructions // scale),
+            journal_table_entries=shrink_table(self.journal_table_entries),
+            shadow_table_entries=shrink_table(self.shadow_table_entries),
+            thynvm_block_entries=shrink_table(self.thynvm_block_entries),
+            thynvm_page_entries=shrink_table(self.thynvm_page_entries),
+            scale=self.scale * scale,
+        )
+        fields.update(overrides)
+        return dataclasses.replace(self, **fields)
+
+    def scale_profile(self, profile):
+        """Shrink a workload profile consistently with this config."""
+        if self.scale == 1:
+            return profile
+        return profile.scaled(self.scale)

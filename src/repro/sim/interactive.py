@@ -1,0 +1,112 @@
+"""Interactive single-stepping API.
+
+:class:`InteractiveSystem` builds a full system (controller + hierarchy +
+cores + scheme) and lets you drive it one access at a time — store a line,
+load a line, end an epoch, pull the plug. It is how the examples
+demonstrate crash consistency on concrete scenarios (e.g. the linked-list
+append from the paper's introduction) and how the unit tests script exact
+sequences like Fig 6.
+
+For trace-driven performance runs use :class:`repro.sim.simulator.Simulation`
+instead.
+"""
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.stats import StatCounters
+from repro.cpu.core import CoreState
+from repro.cpu.system import System
+from repro.mem.controller import MemoryController
+from repro.sim.config import SystemConfig
+from repro.sim.simulator import build_scheme
+
+
+class InteractiveSystem:
+    """A fully built system driven access by access."""
+
+    def __init__(self, scheme_name="picl", config=None):
+        self.config = config if config is not None else SystemConfig().scaled(256)
+        self.stats = StatCounters()
+        self.controller = MemoryController(self.config.nvm, self.stats)
+        self.hierarchy = CacheHierarchy(
+            self.controller,
+            n_cores=self.config.n_cores,
+            l1_size=self.config.l1_size,
+            l1_assoc=self.config.l1_assoc,
+            l1_latency=self.config.l1_latency,
+            l2_size=self.config.l2_size,
+            l2_assoc=self.config.l2_assoc,
+            l2_latency=self.config.l2_latency,
+            llc_size_per_core=self.config.llc_size_per_core,
+            llc_assoc=self.config.llc_assoc,
+            llc_latency=self.config.llc_latency,
+            line_size=self.config.line_size,
+            store_miss_factor=self.config.store_miss_factor,
+            stats=self.stats,
+        )
+        self.cores = [CoreState(i) for i in range(self.config.n_cores)]
+        self.system = System(
+            self.controller,
+            self.hierarchy,
+            self.cores,
+            stats=self.stats,
+            epoch_handler_cycles=self.config.epoch_handler_cycles,
+            track_reference=True,
+            reference_depth=self.config.reference_depth,
+        )
+        self.scheme = build_scheme(scheme_name, self.system, self.config)
+        self.now = 0
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+
+    def store(self, line_addr, core=0):
+        """Store a fresh value to a line; returns its token."""
+        token = self.system.new_token()
+        wait = self.hierarchy.access(core, line_addr, True, token, self.now)
+        self.system.note_store(line_addr, token)
+        self.now += wait + 1
+        return token
+
+    def load(self, line_addr, core=0):
+        """Load a line; returns the token the core observed."""
+        wait = self.hierarchy.access(core, line_addr, False, 0, self.now)
+        self.now += wait + 1
+        line = self.hierarchy.l1(core).lookup(line_addr, touch=False)
+        return line.token
+
+    def end_epoch(self):
+        """Epoch boundary (the periodic OS timer interrupt); returns stall."""
+        stall = self.scheme.on_epoch_boundary(self.now)
+        self.system.broadcast_stall(stall)
+        self.now += stall
+        return stall
+
+    def advance(self, cycles):
+        """Let wall-clock time pass without memory activity."""
+        self.now += cycles
+
+    # ------------------------------------------------------------------
+    # crash / recovery
+    # ------------------------------------------------------------------
+
+    def crash_and_recover(self):
+        """Power-fail now; returns (recovered_image, commit_id, reference).
+
+        ``reference`` is the architectural snapshot the recovered image
+        must equal ({} when the recovery target is the initial state;
+        None when the scheme offers no consistency guarantee).
+        """
+        self.system.crash()
+        image, commit_id = self.scheme.recover()
+        if commit_id is None:
+            reference = None
+        elif commit_id < 0:
+            reference = {}
+        else:
+            reference = self.system.commit_snapshot(commit_id)
+        return image, commit_id, reference
+
+    def arch_state(self):
+        """The architectural (crash-free) memory image right now."""
+        return dict(self.system.arch_image)

@@ -1,0 +1,232 @@
+"""The simulation driver.
+
+Builds a system from a :class:`repro.sim.config.SystemConfig`, attaches a
+scheme, and drives one synthetic trace per core through it. Cores are
+interleaved by always advancing the one with the earliest clock, so shared
+resources (LLC, NVM channels) see a roughly time-ordered request stream.
+
+Epoch boundaries fire when the system-wide instruction count crosses
+multiples of ``epoch_instructions * n_cores`` (for a single core this is
+exactly the paper's instruction-count epochs); overflow-forced commits
+happen inside the schemes' ``on_store`` hooks. Scheduled-commit stalls are
+stop-the-world (charged to every core); overflow stalls are charged to the
+offending core, with the other cores slowed naturally by NVM backpressure.
+
+Crash injection: pass ``crash_at_instructions`` to stop mid-run, then call
+:meth:`Simulation.crash_and_recover` to lose all volatile state, run the
+scheme's recovery, and get back the recovered image together with the
+reference snapshot it must match.
+"""
+
+import heapq
+
+from repro.baselines import Frm, IdealNvm, Journaling, ShadowPaging, ThyNvm
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.errors import ConfigurationError
+from repro.common.stats import StatCounters
+from repro.core.picl import PiclScheme
+from repro.cpu.core import CoreState
+from repro.cpu.system import System
+from repro.mem.controller import MemoryController
+from repro.sim.results import SimulationResult
+from repro.trace.profiles import get_profile
+from repro.trace.synthetic import make_trace
+
+#: Address-space stride between cores (programs never share lines).
+_CORE_ADDR_STRIDE = 1 << 40
+
+SCHEME_NAMES = ("ideal", "journaling", "shadow", "frm", "thynvm", "picl")
+
+
+def build_scheme(name, system, config):
+    """Instantiate a scheme by name with the config's parameters."""
+    if name == "ideal":
+        return IdealNvm(system)
+    if name == "journaling":
+        return Journaling(
+            system, config.journal_table_entries, config.table_assoc
+        )
+    if name == "shadow":
+        return ShadowPaging(
+            system, config.shadow_table_entries, config.table_assoc
+        )
+    if name == "frm":
+        return Frm(system)
+    if name == "thynvm":
+        return ThyNvm(
+            system,
+            config.thynvm_block_entries,
+            config.thynvm_page_entries,
+            config.table_assoc,
+        )
+    if name == "picl":
+        return PiclScheme(system, config.picl)
+    raise ConfigurationError(
+        "unknown scheme %r; known: %s" % (name, ", ".join(SCHEME_NAMES))
+    )
+
+
+class Simulation:
+    """One system + one scheme + one trace per core.
+
+    ``shared_memory=False`` (the default, the paper's multiprogram rate
+    mode) gives every core a disjoint address space; ``True`` makes all
+    cores address one shared working set — a multithreaded workload whose
+    cross-core stores exercise coherence, undo forwarding, and recovery
+    under sharing.
+    """
+
+    def __init__(
+        self,
+        config,
+        scheme_name,
+        benchmarks,
+        n_instructions,
+        seed=1234,
+        shared_memory=False,
+    ):
+        if isinstance(benchmarks, str):
+            benchmarks = [benchmarks]
+        if len(benchmarks) != config.n_cores:
+            raise ConfigurationError(
+                "%d benchmarks for %d cores" % (len(benchmarks), config.n_cores)
+            )
+        self.shared_memory = shared_memory
+        self.config = config
+        self.scheme_name = scheme_name
+        self.benchmarks = list(benchmarks)
+        self.n_instructions = n_instructions
+        self.stats = StatCounters()
+        self.controller = MemoryController(config.nvm, self.stats)
+        self.hierarchy = CacheHierarchy(
+            self.controller,
+            n_cores=config.n_cores,
+            l1_size=config.l1_size,
+            l1_assoc=config.l1_assoc,
+            l1_latency=config.l1_latency,
+            l2_size=config.l2_size,
+            l2_assoc=config.l2_assoc,
+            l2_latency=config.l2_latency,
+            llc_size_per_core=config.llc_size_per_core,
+            llc_assoc=config.llc_assoc,
+            llc_latency=config.llc_latency,
+            line_size=config.line_size,
+            store_miss_factor=config.store_miss_factor,
+            stats=self.stats,
+        )
+        self.cores = [CoreState(i) for i in range(config.n_cores)]
+        self.system = System(
+            self.controller,
+            self.hierarchy,
+            self.cores,
+            stats=self.stats,
+            epoch_handler_cycles=config.epoch_handler_cycles,
+            track_reference=config.track_reference,
+            reference_depth=config.reference_depth,
+        )
+        self.scheme = build_scheme(scheme_name, self.system, config)
+        self.traces = []
+        for core_id, name in enumerate(self.benchmarks):
+            profile = config.scale_profile(get_profile(name))
+            addr_base = 0 if shared_memory else core_id * _CORE_ADDR_STRIDE
+            self.traces.append(
+                make_trace(
+                    profile,
+                    n_instructions,
+                    seed=seed + core_id * 101,
+                    addr_base=addr_base,
+                )
+            )
+        self.crashed = False
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # the main loop
+    # ------------------------------------------------------------------
+
+    def _ref_iter(self, core_id):
+        for chunk in self.traces[core_id].chunks():
+            for ref in zip(chunk.gaps, chunk.addrs, chunk.writes):
+                yield ref
+
+    def run(self, crash_at_instructions=None):
+        """Drive the traces to completion (or to the crash point)."""
+        if self._ran:
+            raise ConfigurationError("a Simulation object runs exactly once")
+        self._ran = True
+        system = self.system
+        hierarchy = self.hierarchy
+        scheme = self.scheme
+        cores = self.cores
+        epoch_span = self.config.epoch_instructions * self.config.n_cores
+        next_epoch = epoch_span
+        iters = [self._ref_iter(core_id) for core_id in range(len(cores))]
+        heap = [(0, core_id) for core_id in range(len(cores))]
+        heapq.heapify(heap)
+
+        while heap:
+            _cycle, core_id = heapq.heappop(heap)
+            ref = next(iters[core_id], None)
+            if ref is None:
+                cores[core_id].finished = True
+                continue
+            gap, addr, is_write = ref
+            core = cores[core_id]
+            core.advance_compute(gap)
+            if is_write:
+                token = system.new_token()
+                wait = hierarchy.access(core_id, addr, True, token, core.cycle)
+                system.note_store(addr, token)
+            else:
+                wait = hierarchy.access(core_id, addr, False, 0, core.cycle)
+            core.advance_memory(wait)
+            system.total_instructions += gap + 1
+            if system.total_instructions >= next_epoch:
+                stall = scheme.on_epoch_boundary(core.cycle)
+                system.broadcast_stall(stall)
+                next_epoch += epoch_span
+            if (
+                crash_at_instructions is not None
+                and system.total_instructions >= crash_at_instructions
+            ):
+                self.crashed = True
+                break
+            heapq.heappush(heap, (core.cycle, core_id))
+
+        if not self.crashed:
+            stall = scheme.finalize(system.max_cycle())
+            system.broadcast_stall(stall)
+        return self.result()
+
+    def result(self):
+        """Package the current counters into a SimulationResult."""
+        return SimulationResult(
+            self.scheme_name,
+            self.benchmarks,
+            self.config,
+            cycles=self.system.max_cycle(),
+            instructions=self.system.total_instructions,
+            stats=self.stats,
+            per_core_cycles=[core.cycle for core in self.cores],
+        )
+
+    # ------------------------------------------------------------------
+    # crash / recovery harness
+    # ------------------------------------------------------------------
+
+    def crash_and_recover(self):
+        """Power-fail now, recover, and return (image, commit_id, reference).
+
+        ``reference`` is the architectural snapshot the recovered image
+        must equal ({} for the initial state; None when the config did not
+        enable reference tracking or the snapshot fell out of the window).
+        """
+        self.system.crash()
+        image, commit_id = self.scheme.recover()
+        if commit_id is None:
+            reference = None
+        elif commit_id < 0:
+            reference = {}
+        else:
+            reference = self.system.commit_snapshot(commit_id)
+        return image, commit_id, reference

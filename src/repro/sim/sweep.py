@@ -1,0 +1,49 @@
+"""Sweep helpers: the scheme-by-benchmark grids behind every figure."""
+
+from repro.sim.config import SystemConfig
+from repro.sim.simulator import Simulation
+from repro.trace.mixes import MULTIPROGRAM_MIXES
+
+
+def run_single(config, scheme_name, benchmark, n_instructions, seed=1234):
+    """One single-core run; returns its :class:`SimulationResult`."""
+    sim = Simulation(config, scheme_name, [benchmark], n_instructions, seed=seed)
+    return sim.run()
+
+
+def run_matrix(config, scheme_names, benchmarks, n_instructions, seed=1234):
+    """Run every (scheme, benchmark) pair.
+
+    Returns ``{benchmark: {scheme: SimulationResult}}``. The per-benchmark
+    seed is fixed across schemes so every scheme sees the same trace.
+    """
+    results = {}
+    for bench_index, benchmark in enumerate(benchmarks):
+        per_scheme = {}
+        for scheme_name in scheme_names:
+            per_scheme[scheme_name] = run_single(
+                config,
+                scheme_name,
+                benchmark,
+                n_instructions,
+                seed=seed + bench_index * 7919,
+            )
+        results[benchmark] = per_scheme
+    return results
+
+
+def run_mix(config, scheme_name, mix_name, n_instructions, seed=1234):
+    """One eight-core multiprogram run of a Table V mix."""
+    benchmarks = MULTIPROGRAM_MIXES[mix_name]
+    if config.n_cores != len(benchmarks):
+        raise ValueError(
+            "mix %s needs %d cores, config has %d"
+            % (mix_name, len(benchmarks), config.n_cores)
+        )
+    sim = Simulation(config, scheme_name, benchmarks, n_instructions, seed=seed)
+    return sim.run()
+
+
+def default_config(scale=64, **overrides):
+    """The paper's system shrunk by ``scale`` (see SystemConfig.scaled)."""
+    return SystemConfig().scaled(scale, **overrides)

@@ -1,0 +1,44 @@
+"""Workload substrate: synthetic traces standing in for SPEC CPU2006.
+
+The paper drives its simulator with Pin-captured SPEC CPU2006 traces
+(SimPoint regions). Those traces are proprietary, so this package builds the
+closest synthetic equivalent: per-benchmark *profiles* capturing the
+characteristics the checkpointing overheads actually depend on — memory
+intensity, store fraction, working-set size, spatial locality, and reuse
+skew — and generators that turn a profile into a deterministic stream of
+``(gap, address, is_write)`` memory references.
+
+See DESIGN.md §2 for why this substitution preserves the paper's behaviour.
+"""
+
+from repro.trace.mixes import MULTIPROGRAM_MIXES, mix_names, mix_profiles
+from repro.trace.profiles import (
+    BENCHMARKS,
+    FIG12_BENCHMARKS,
+    WorkloadProfile,
+    get_profile,
+)
+from repro.trace.synthetic import SyntheticTrace, TraceChunk, make_trace
+from repro.trace.tracefile import (
+    RecordedTrace,
+    load_trace,
+    record_trace,
+    save_trace,
+)
+
+__all__ = [
+    "WorkloadProfile",
+    "BENCHMARKS",
+    "FIG12_BENCHMARKS",
+    "get_profile",
+    "SyntheticTrace",
+    "TraceChunk",
+    "make_trace",
+    "MULTIPROGRAM_MIXES",
+    "mix_names",
+    "mix_profiles",
+    "RecordedTrace",
+    "record_trace",
+    "save_trace",
+    "load_trace",
+]

@@ -1,0 +1,29 @@
+"""Table V: the eight-benchmark multiprogram mixes W0-W7.
+
+The paper draws these randomly once and fixes them; we reproduce the exact
+table so Fig 10 runs the same mixes.
+"""
+
+from repro.trace.profiles import get_profile
+
+#: Table V of the paper, verbatim.
+MULTIPROGRAM_MIXES = {
+    "W0": ["h264ref", "soplex", "hmmer", "bzip2", "gcc", "sjeng", "perlbench", "hmmer"],
+    "W1": ["gcc", "gobmk", "gcc", "soplex", "bzip2", "gamess", "tonto", "gcc"],
+    "W2": ["bzip2", "lbm", "gobmk", "perlbench", "cactusADM", "bzip2", "h264ref", "mcf"],
+    "W3": ["gcc", "bzip2", "tonto", "cactusADM", "astar", "bzip2", "namd", "zeusmp"],
+    "W4": ["perlbench", "wrf", "gobmk", "gcc", "namd", "gobmk", "milc", "bzip2"],
+    "W5": ["omnetpp", "bzip2", "bzip2", "gobmk", "sjeng", "perlbench", "bzip2", "gobmk"],
+    "W6": ["gcc", "tonto", "gamess", "cactusADM", "dealII", "gobmk", "omnetpp", "bzip2"],
+    "W7": ["gcc", "wrf", "gcc", "bzip2", "gamess", "gromacs", "gcc", "perlbench"],
+}
+
+
+def mix_names():
+    """The mix identifiers in Fig 10's order."""
+    return sorted(MULTIPROGRAM_MIXES)
+
+
+def mix_profiles(mix_name):
+    """Return the eight :class:`WorkloadProfile` objects of a mix."""
+    return [get_profile(name) for name in MULTIPROGRAM_MIXES[mix_name]]

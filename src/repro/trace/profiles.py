@@ -1,0 +1,167 @@
+"""Per-benchmark workload profiles.
+
+Each SPEC CPU2006 benchmark from the paper's Fig 9/11/12 gets a profile
+describing the memory behaviour that checkpointing overheads depend on.
+The parameter values encode the well-documented character of each
+benchmark (and the paper's own commentary — e.g. "workloads with less
+spatial locality like astar are neither suitable for Journal nor
+Shadow-Paging", "workloads with sequential write traffic (e.g., mcf) favor
+Shadow-Paging", "compute intensive workloads [have a] small write set"):
+
+* ``mem_ratio`` — memory references per instruction.
+* ``write_frac`` — fraction of references that are stores.
+* ``working_set_bytes`` — resident set the trace cycles through, at the
+  paper's full scale (scaled down together with the caches by presets).
+* ``seq_frac`` — fraction of references issued by sequential streams
+  (high for streaming FP codes; gives page-level spatial locality).
+* ``chase_frac`` — fraction issued by a pointer-chase component (uniform
+  random over the working set; destroys spatial locality).
+* ``zipf_alpha`` — skew of the reuse component covering the remaining
+  fraction (hotter means a smaller effective write set).
+
+The absolute values are calibrated, not measured; EXPERIMENTS.md records
+how well the resulting figure shapes track the paper.
+"""
+
+import dataclasses
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import KB, MB
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadProfile:
+    """Synthetic stand-in for one SPEC CPU2006 benchmark."""
+
+    name: str
+    mem_ratio: float
+    write_frac: float
+    working_set_bytes: int
+    seq_frac: float
+    chase_frac: float
+    zipf_alpha: float
+    category: str
+    #: Consecutive references landing in one line before the sequential
+    #: stream advances (word-granular walks touch a 64 B line ~8 times).
+    seq_run: int = 8
+
+    #: Extra probability that a *store* is drawn from the sequential stream
+    #: (0 = stores follow the same mix as loads; near 1 = stores stream).
+    #: This captures workloads whose write traffic is sequential even when
+    #: their read traffic is scattered — the paper singles out mcf:
+    #: "workloads with sequential write traffic (e.g., mcf) favor
+    #: Shadow-Paging".
+    write_seq_bias: float = 0.0
+
+    #: Extra probability that a *store* is drawn from the hot (zipfian)
+    #: component. Programs rewrite a much smaller set of locations than
+    #: they read (stacks, accumulators, in-place updates), which is what
+    #: keeps compute-bound write sets inside the translation tables
+    #: ("the write set is small for compute intensive workloads and the
+    #: translation table can track them quite consistently").
+    write_zipf_bias: float = 0.0
+
+    def __post_init__(self):
+        if not 0.0 < self.mem_ratio <= 1.0:
+            raise ConfigurationError("mem_ratio must be in (0, 1]")
+        if not 0.0 <= self.write_frac <= 1.0:
+            raise ConfigurationError("write_frac must be in [0, 1]")
+        if self.seq_frac + self.chase_frac > 1.0:
+            raise ConfigurationError("seq_frac + chase_frac must be <= 1")
+        if self.working_set_bytes <= 0:
+            raise ConfigurationError("working set must be positive")
+        if self.write_seq_bias + self.write_zipf_bias > 1.0:
+            raise ConfigurationError("write biases must sum to <= 1")
+
+    def scaled(self, scale):
+        """Return a copy with the working set divided by ``scale``.
+
+        Presets scale the whole system (caches, tables, epochs, working
+        sets) by one factor so that the paper's capacity ratios survive.
+        """
+        shrunk = max(2 * KB, self.working_set_bytes // scale)
+        return dataclasses.replace(self, working_set_bytes=shrunk)
+
+
+def _p(name, mem_ratio, write_frac, ws, seq, chase, alpha, category, sb=0.0, zb=0.0):
+    return WorkloadProfile(
+        name,
+        mem_ratio,
+        write_frac,
+        ws,
+        seq,
+        chase,
+        alpha,
+        category,
+        write_seq_bias=sb,
+        write_zipf_bias=zb,
+    )
+
+
+#: The 29 benchmarks appearing across Fig 9, Fig 11, and Table V.
+_PROFILES = [
+    # --- integer, pointer-heavy / low spatial locality ------------------
+    _p("astar", 0.32, 0.32, 64 * MB, 0.05, 0.60, 0.60, "pointer", zb=0.75),
+    _p("omnetpp", 0.34, 0.34, 64 * MB, 0.05, 0.55, 0.70, "pointer", zb=0.70),
+    _p("xalancbmk", 0.33, 0.30, 64 * MB, 0.10, 0.50, 0.80, "pointer", zb=0.70),
+    _p("mcf", 0.40, 0.28, 64 * MB, 0.45, 0.35, 0.60, "memory", sb=0.85, zb=0.15),
+    _p("soplex", 0.35, 0.25, 48 * MB, 0.30, 0.30, 0.80, "memory", sb=0.50, zb=0.45),
+    _p("sphinx3", 0.33, 0.15, 32 * MB, 0.35, 0.25, 0.90, "memory", sb=0.40, zb=0.55),
+    # --- integer, cache-friendly ----------------------------------------
+    _p("bzip2", 0.26, 0.28, 8 * MB, 0.30, 0.10, 1.35, "mixed", sb=0.25, zb=0.65),
+    _p("gcc", 0.28, 0.30, 16 * MB, 0.20, 0.12, 1.35, "mixed", sb=0.25, zb=0.65),
+    _p("gobmk", 0.22, 0.25, 1 * MB, 0.10, 0.20, 1.20, "compute", zb=0.50),
+    _p("h264ref", 0.24, 0.22, 1 * MB, 0.35, 0.10, 1.30, "compute", zb=0.50),
+    _p("hmmer", 0.28, 0.30, 512 * KB, 0.40, 0.05, 1.40, "compute", zb=0.50),
+    _p("perlbench", 0.26, 0.30, 8 * MB, 0.15, 0.12, 1.30, "mixed", sb=0.25, zb=0.65),
+    _p("sjeng", 0.20, 0.22, 2 * MB, 0.05, 0.25, 1.20, "compute", zb=0.50),
+    _p("libquantum", 0.30, 0.25, 32 * MB, 0.90, 0.02, 0.50, "stream", sb=0.85, zb=0.15),
+    # --- floating point, streaming --------------------------------------
+    _p("bwaves", 0.36, 0.25, 48 * MB, 0.80, 0.05, 0.60, "stream", sb=0.85, zb=0.15),
+    _p("cactusADM", 0.32, 0.28, 32 * MB, 0.70, 0.10, 0.70, "stream", sb=0.85, zb=0.15),
+    _p("calculix", 0.18, 0.18, 1 * MB, 0.50, 0.05, 1.20, "compute", zb=0.50),
+    _p("dealII", 0.24, 0.22, 12 * MB, 0.30, 0.15, 1.20, "mixed", sb=0.25, zb=0.65),
+    _p("gamess", 0.12, 0.15, 256 * KB, 0.30, 0.05, 1.50, "compute", zb=0.50),
+    _p("GemsFDTD", 0.35, 0.28, 48 * MB, 0.75, 0.08, 0.60, "stream", sb=0.85, zb=0.15),
+    _p("gromacs", 0.16, 0.18, 512 * KB, 0.40, 0.05, 1.30, "compute", zb=0.50),
+    _p("lbm", 0.38, 0.40, 48 * MB, 0.90, 0.02, 0.50, "stream", sb=0.85, zb=0.15),
+    _p("leslie3d", 0.34, 0.28, 48 * MB, 0.80, 0.05, 0.60, "stream", sb=0.85, zb=0.15),
+    _p("milc", 0.36, 0.30, 48 * MB, 0.70, 0.10, 0.60, "stream", sb=0.85, zb=0.15),
+    _p("namd", 0.14, 0.15, 512 * KB, 0.35, 0.05, 1.40, "compute", zb=0.50),
+    _p("povray", 0.10, 0.12, 256 * KB, 0.20, 0.10, 1.50, "compute", zb=0.50),
+    _p("tonto", 0.15, 0.18, 512 * KB, 0.30, 0.08, 1.40, "compute", zb=0.50),
+    _p("wrf", 0.28, 0.24, 24 * MB, 0.65, 0.08, 0.80, "stream", sb=0.85, zb=0.15),
+    _p("zeusmp", 0.30, 0.26, 32 * MB, 0.70, 0.08, 0.70, "stream", sb=0.85, zb=0.15),
+]
+
+_BY_NAME = {profile.name.lower(): profile for profile in _PROFILES}
+
+#: Benchmark names in the paper's Fig 9 x-axis order (integer then FP).
+BENCHMARKS = [profile.name for profile in _PROFILES]
+
+#: The 13 benchmarks Fig 12 selects for the IOPS breakdown.
+FIG12_BENCHMARKS = [
+    "astar",
+    "bzip2",
+    "gcc",
+    "gobmk",
+    "h264ref",
+    "mcf",
+    "perlbench",
+    "lbm",
+    "leslie3d",
+    "milc",
+    "namd",
+    "sphinx3",
+    "libquantum",
+]
+
+
+def get_profile(name):
+    """Look up a profile by benchmark name (case-insensitive)."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        raise KeyError(
+            "unknown benchmark %r; known: %s" % (name, ", ".join(BENCHMARKS))
+        ) from None

@@ -1,0 +1,175 @@
+"""Synthetic trace generation.
+
+A trace is a deterministic stream of memory references, delivered in numpy
+chunks for generation speed and consumed one reference at a time by the
+simulator. Each reference is ``(gap, line_addr, is_write)`` where ``gap``
+is the number of non-memory instructions preceding it (the in-order core
+charges them one cycle each, per Table IV's "CPI 1 non-memory
+instructions").
+
+Three address components are mixed per the profile's fractions:
+
+* a **sequential streamer** walking the working set line by line (spatial
+  locality: consecutive references fill NVM rows and page-granularity
+  translation entries),
+* a **pointer chaser** sampling lines uniformly (no locality), and
+* a **zipfian reuse** component sampling lines with configurable skew
+  (temporal locality: a hot subset absorbs most references).
+
+Hot zipfian lines are deliberately scattered across the address space so
+temporal and spatial locality stay independent knobs.
+"""
+
+import numpy as np
+
+from repro.common.address import LINE_SIZE
+from repro.common.errors import ConfigurationError
+
+#: Size of internally generated numpy batches.
+CHUNK_REFS = 8192
+
+#: Rank table cap for zipf sampling (beyond this, ranks alias).
+_MAX_ZIPF_RANKS = 1 << 16
+
+
+class TraceChunk:
+    """One generated batch of references, as parallel Python lists."""
+
+    __slots__ = ("gaps", "addrs", "writes", "instructions")
+
+    def __init__(self, gaps, addrs, writes, instructions):
+        self.gaps = gaps
+        self.addrs = addrs
+        self.writes = writes
+        self.instructions = instructions
+
+    def __len__(self):
+        return len(self.gaps)
+
+
+def _zipf_cdf(n_ranks, alpha):
+    ranks = np.arange(1, n_ranks + 1, dtype=np.float64)
+    weights = ranks ** (-alpha)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    return cdf
+
+
+def _scatter(ranks, n_lines):
+    """Map zipf ranks onto lines spread across the working set.
+
+    Multiplying by a large odd constant modulo the line count permutes
+    ranks pseudo-randomly, so the hottest lines are not also adjacent.
+    """
+    return (ranks * 2654435761) % n_lines
+
+
+class SyntheticTrace:
+    """Deterministic reference stream for one benchmark profile."""
+
+    def __init__(self, profile, n_instructions, seed=0, addr_base=0):
+        if n_instructions <= 0:
+            raise ConfigurationError("n_instructions must be positive")
+        self.profile = profile
+        self.n_instructions = n_instructions
+        self.addr_base = addr_base
+        self._rng = np.random.default_rng(seed)
+        self._n_lines = max(32, profile.working_set_bytes // LINE_SIZE)
+        self._seq_pos = 0
+        n_ranks = min(self._n_lines, _MAX_ZIPF_RANKS)
+        self._zipf_cdf = _zipf_cdf(n_ranks, max(profile.zipf_alpha, 0.01))
+        # Bias-redirected stores reuse a steeper distribution over the same
+        # rank->line mapping: the write-hot set is a subset of the read-hot
+        # set, just much smaller (see WorkloadProfile.write_zipf_bias).
+        self._zipf_cdf_writes = _zipf_cdf(n_ranks, profile.zipf_alpha + 0.7)
+        self._instructions_emitted = 0
+
+    @property
+    def expected_refs(self):
+        """Approximate number of references the trace will emit."""
+        return int(self.n_instructions * self.profile.mem_ratio)
+
+    def chunks(self):
+        """Yield :class:`TraceChunk` batches until the instruction budget ends."""
+        profile = self.profile
+        mem_ratio = profile.mem_ratio
+        while self._instructions_emitted < self.n_instructions:
+            n = CHUNK_REFS
+            gaps = self._rng.geometric(mem_ratio, size=n) - 1
+            writes = self._rng.random(n) < profile.write_frac
+            addrs = self._make_addresses(n, writes)
+            instructions = int(gaps.sum()) + n
+            budget = self.n_instructions - self._instructions_emitted
+            if instructions > budget:
+                # Trim the chunk to the instruction budget.
+                cumulative = np.cumsum(gaps + 1)
+                cut = int(np.searchsorted(cumulative, budget, side="right")) + 1
+                cut = max(1, min(cut, n))
+                gaps = gaps[:cut]
+                addrs = addrs[:cut]
+                writes = writes[:cut]
+                instructions = int(gaps.sum()) + cut
+            self._instructions_emitted += instructions
+            yield TraceChunk(
+                gaps.tolist(), addrs.tolist(), writes.tolist(), instructions
+            )
+
+    def _make_addresses(self, n, writes):
+        profile = self.profile
+        n_lines = self._n_lines
+        selector = self._rng.random(n)
+        line_ids = np.empty(n, dtype=np.int64)
+
+        seq_frac = profile.seq_frac
+        chase_frac = profile.chase_frac
+        seq_bias = profile.write_seq_bias
+        zipf_bias = profile.write_zipf_bias
+        if seq_bias > 0.0 or zipf_bias > 0.0:
+            # Stores redistribute: ``seq_bias`` of the mass moves to the
+            # sequential stream, ``zipf_bias`` to the hot set, and the rest
+            # keeps the loads' proportions.
+            remainder = 1.0 - seq_bias - zipf_bias
+            seq_w = seq_bias + remainder * seq_frac
+            chase_w = remainder * chase_frac
+            seq_cut = np.where(writes, seq_w, seq_frac)
+            chase_cut = seq_cut + np.where(writes, chase_w, chase_frac)
+        else:
+            seq_cut = seq_frac
+            chase_cut = seq_frac + chase_frac
+
+        seq_mask = selector < seq_cut
+        chase_mask = (~seq_mask) & (selector < chase_cut)
+        zipf_mask = ~(seq_mask | chase_mask)
+
+        n_seq = int(seq_mask.sum())
+        if n_seq:
+            run = max(1, profile.seq_run)
+            positions = self._seq_pos + np.arange(n_seq, dtype=np.int64)
+            line_ids[seq_mask] = (positions // run) % n_lines
+            self._seq_pos = (self._seq_pos + n_seq) % (n_lines * run)
+
+        n_chase = int(chase_mask.sum())
+        if n_chase:
+            line_ids[chase_mask] = self._rng.integers(0, n_lines, size=n_chase)
+
+        n_zipf = int(zipf_mask.sum())
+        if n_zipf:
+            uniform = self._rng.random(n_zipf)
+            zipf_writes = writes[zipf_mask]
+            ranks = np.where(
+                zipf_writes,
+                np.searchsorted(self._zipf_cdf_writes, uniform),
+                np.searchsorted(self._zipf_cdf, uniform),
+            )
+            line_ids[zipf_mask] = _scatter(ranks.astype(np.int64), n_lines)
+
+        return self.addr_base + line_ids * LINE_SIZE
+
+
+def make_trace(profile, n_instructions, seed=0, addr_base=0):
+    """Build a :class:`SyntheticTrace` for ``profile``.
+
+    ``addr_base`` offsets the whole working set; multiprogram runs give each
+    core a disjoint base so programs never share lines (SPEC rate-style).
+    """
+    return SyntheticTrace(profile, n_instructions, seed=seed, addr_base=addr_base)

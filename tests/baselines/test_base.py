@@ -1,0 +1,127 @@
+"""Shared scheme machinery: translation table and flush helper."""
+
+import pytest
+
+from helpers import SchemeHarness, line
+from repro.baselines.base import TranslationTable
+
+
+class TestTranslationTable:
+    def test_insert_and_lookup(self):
+        table = TranslationTable(32, assoc=16)
+        assert table.insert(0x40, "v")
+        assert table.lookup(0x40) == "v"
+
+    def test_lookup_missing(self):
+        assert TranslationTable(32).lookup(0x40) is None
+
+    def test_reinsert_updates_value(self):
+        table = TranslationTable(32)
+        table.insert(0x40, 1)
+        table.insert(0x40, 2)
+        assert table.lookup(0x40) == 2
+        assert len(table) == 1
+
+    def test_set_overflow_returns_false(self):
+        table = TranslationTable(32, assoc=16)  # 2 sets
+        # Fill set 0: blocks with even indices.
+        for i in range(16):
+            assert table.insert(i * 2 * 64)
+        assert not table.insert(16 * 2 * 64)
+
+    def test_other_set_still_has_room(self):
+        table = TranslationTable(32, assoc=16)
+        for i in range(16):
+            table.insert(i * 2 * 64)
+        assert table.insert(64)  # odd block -> set 1
+
+    def test_granularity_pages(self):
+        table = TranslationTable(32, granularity_bytes=4096)
+        table.insert(4096 + 100, "x")
+        assert table.lookup(4096) == "x"
+
+    def test_remove(self):
+        table = TranslationTable(32)
+        table.insert(0x40)
+        table.remove(0x40)
+        assert table.lookup(0x40) is None
+        assert len(table) == 0
+
+    def test_remove_missing_is_noop(self):
+        table = TranslationTable(32)
+        table.remove(0x40)
+        assert len(table) == 0
+
+    def test_clear(self):
+        table = TranslationTable(32)
+        table.insert(0)
+        table.insert(64)
+        table.clear()
+        assert len(table) == 0
+        assert table.insert(0)
+
+    def test_items(self):
+        table = TranslationTable(32)
+        table.insert(0, "a")
+        table.insert(64, "b")
+        assert dict(table.items()) == {0: "a", 64: "b"}
+
+    def test_entries_must_divide_ways(self):
+        with pytest.raises(ValueError):
+            TranslationTable(30, assoc=16)
+
+
+class TestInsertWithEviction:
+    def test_evicts_clean_victim(self):
+        table = TranslationTable(16, assoc=16)  # 1 set
+        for i in range(16):
+            table.insert(i * 64, "clean")
+        inserted, evicted = table.insert_with_eviction(
+            16 * 64, "new", evictable=lambda v: v == "clean"
+        )
+        assert inserted
+        assert evicted is not None
+        assert table.lookup(16 * 64) == "new"
+
+    def test_fails_when_all_dirty(self):
+        table = TranslationTable(16, assoc=16)
+        for i in range(16):
+            table.insert(i * 64, "dirty")
+        inserted, evicted = table.insert_with_eviction(
+            16 * 64, "new", evictable=lambda v: v == "clean"
+        )
+        assert not inserted
+        assert evicted is None
+
+    def test_hit_updates_without_eviction(self):
+        table = TranslationTable(16, assoc=16)
+        table.insert(0, "old")
+        inserted, evicted = table.insert_with_eviction(
+            0, "new", evictable=lambda v: True
+        )
+        assert inserted
+        assert evicted is None
+        assert table.lookup(0) == "new"
+
+
+class TestFlushHelper:
+    def test_flush_makes_everything_clean_and_durable(self):
+        harness = SchemeHarness("frm")
+        tokens = {line(i): harness.store(line(i)) for i in range(5)}
+        stall = harness.scheme._flush_all_dirty(harness.now)
+        assert stall > 0
+        for addr, token in tokens.items():
+            assert harness.controller.read_token(addr) == token
+        assert harness.hierarchy.dirty_line_count() == 0
+
+    def test_flush_counts(self):
+        harness = SchemeHarness("frm")
+        harness.store(line(1))
+        harness.scheme._flush_all_dirty(harness.now)
+        assert harness.stats.get("flush.synchronous") == 1
+        assert harness.stats.get("flush.lines_written") == 1
+
+    def test_empty_flush_is_cheap(self):
+        harness = SchemeHarness("frm")
+        stall = harness.scheme._flush_all_dirty(harness.now)
+        assert stall == 0

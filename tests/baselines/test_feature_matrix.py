@@ -1,0 +1,46 @@
+"""Table II: the feature matrix data."""
+
+import pytest
+
+from repro.baselines import FEATURE_MATRIX
+
+
+class TestTableII:
+    def test_four_schemes(self):
+        assert set(FEATURE_MATRIX) == {"FRM", "Journaling", "ThyNVM", "PiCL"}
+
+    def test_only_picl_has_async_cache_flush(self):
+        flags = {name: row["async_cache_flush"] for name, row in FEATURE_MATRIX.items()}
+        assert flags == {
+            "FRM": False,
+            "Journaling": False,
+            "ThyNVM": False,
+            "PiCL": True,
+        }
+
+    def test_only_picl_has_multi_commit_overlap(self):
+        assert FEATURE_MATRIX["PiCL"]["multi_commit_overlap"]
+        assert not FEATURE_MATRIX["ThyNVM"]["multi_commit_overlap"]
+
+    def test_thynvm_has_single_commit_overlap(self):
+        assert FEATURE_MATRIX["ThyNVM"]["single_commit_overlap"]
+        assert not FEATURE_MATRIX["Journaling"]["single_commit_overlap"]
+
+    def test_undo_schemes_have_no_translation_layer(self):
+        assert FEATURE_MATRIX["FRM"]["no_translation_layer"]
+        assert FEATURE_MATRIX["PiCL"]["no_translation_layer"]
+        assert not FEATURE_MATRIX["Journaling"]["no_translation_layer"]
+        assert not FEATURE_MATRIX["ThyNVM"]["no_translation_layer"]
+
+    def test_complexity_ranking(self):
+        assert FEATURE_MATRIX["PiCL"]["mem_ctrl_complexity"] == "Low"
+        assert FEATURE_MATRIX["ThyNVM"]["mem_ctrl_complexity"] == "High"
+
+    def test_na_cells_use_none(self):
+        # Undo coalescing is not applicable to redo schemes and vice versa.
+        assert FEATURE_MATRIX["Journaling"]["undo_coalescing"] is None
+        assert FEATURE_MATRIX["FRM"]["redo_page_coalescing"] is None
+
+    @pytest.mark.parametrize("scheme", sorted(FEATURE_MATRIX))
+    def test_rows_share_schema(self, scheme):
+        assert set(FEATURE_MATRIX[scheme]) == set(FEATURE_MATRIX["PiCL"])

@@ -1,0 +1,95 @@
+"""FRM: read-log-modify undo logging with per-epoch synchronous flushes."""
+
+import pytest
+
+from helpers import SchemeHarness, line
+
+
+class TestReadLogModify:
+    def test_writeback_logs_then_writes_in_place(self):
+        harness = SchemeHarness("frm")
+        harness.controller.write_token(line(1), 7)  # pre-existing data
+        harness.scheme.write_back(line(1), 42, now=0)
+        assert harness.controller.read_token(line(1)) == 42
+        entries = list(harness.scheme.log.iter_entries_backward())
+        assert len(entries) == 1
+        assert entries[0].token == 7  # the undo data read from memory
+
+    def test_random_read_per_writeback(self):
+        harness = SchemeHarness("frm")
+        harness.scheme.write_back(line(1), 1, now=0)
+        harness.scheme.write_back(line(2), 2, now=0)
+        assert harness.stats.get("nvm.iops.random") == 2
+        assert harness.stats.get("nvm.iops.writeback") == 2
+
+    def test_log_writes_are_coalesced(self):
+        harness = SchemeHarness("frm")
+        for i in range(harness.scheme.LOG_COALESCE_ENTRIES):
+            harness.scheme.write_back(line(i), i, now=0)
+        assert harness.stats.get("nvm.iops.sequential") == 1
+
+    def test_no_store_time_overhead(self):
+        harness = SchemeHarness("frm")
+        assert harness.scheme.on_store(0, None, now=0) == 0
+
+
+class TestEpochBoundary:
+    def test_synchronous_flush_every_epoch(self):
+        harness = SchemeHarness("frm")
+        for i in range(8):
+            harness.store(line(i))
+        stall = harness.end_epoch()
+        assert stall > 0
+        assert harness.hierarchy.dirty_line_count() == 0
+        assert harness.stats.get("flush.synchronous") == 1
+
+    def test_exactly_one_commit_per_epoch(self):
+        # Fig 11: "undo-based approaches do not suffer from this problem."
+        harness = SchemeHarness("frm")
+        for i in range(200):
+            harness.store(line(i))
+        harness.end_epoch()
+        assert harness.system.commit_count == 1
+        assert harness.stats.get("commits.forced", 0) == 0
+
+    def test_log_truncated_at_commit(self):
+        harness = SchemeHarness("frm")
+        harness.store(line(1))
+        harness.end_epoch()
+        assert harness.scheme.log.entry_count == 0
+
+    def test_epoch_index_advances(self):
+        harness = SchemeHarness("frm")
+        harness.end_epoch()
+        harness.end_epoch()
+        assert harness.scheme.epoch_index == 2
+
+
+class TestRecovery:
+    def test_uncommitted_epoch_reverted(self):
+        harness = SchemeHarness("frm")
+        token = harness.store(line(1))
+        harness.end_epoch()  # commit 0: token durable
+        harness.store(line(1))  # epoch 1, uncommitted
+        harness.scheme._flush_all_dirty(harness.now)  # force in-place write
+        image, commit_id, reference = harness.crash_and_recover()
+        assert commit_id == 0
+        assert image[line(1)] == token
+        assert reference[line(1)] == token
+
+    def test_oldest_entry_wins_within_epoch(self):
+        harness = SchemeHarness("frm")
+        harness.controller.write_token(line(1), 5)
+        # Two in-place writes to the same line within one epoch.
+        harness.scheme.write_back(line(1), 10, now=0)
+        harness.scheme.write_back(line(1), 20, now=0)
+        image, _commit_id = harness.scheme.recover()
+        assert image[line(1)] == 5
+
+    def test_recovery_before_any_commit(self):
+        harness = SchemeHarness("frm")
+        harness.store(line(1))
+        image, commit_id, reference = harness.crash_and_recover()
+        assert commit_id == -1
+        assert reference == {}
+        assert image.get(line(1), 0) == 0

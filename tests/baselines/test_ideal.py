@@ -1,0 +1,42 @@
+"""Ideal NVM baseline: in-place writes, no checkpointing."""
+
+from helpers import SchemeHarness, line
+
+
+class TestIdeal:
+    def test_epoch_boundary_is_free(self):
+        harness = SchemeHarness("ideal")
+        harness.store(line(1))
+        assert harness.end_epoch() == 0
+
+    def test_no_commits_recorded(self):
+        harness = SchemeHarness("ideal")
+        harness.end_epoch()
+        assert harness.system.commit_count == 0
+
+    def test_writebacks_go_in_place(self):
+        harness = SchemeHarness("ideal")
+        harness.scheme.write_back(line(1), 42, now=0)
+        assert harness.controller.read_token(line(1)) == 42
+
+    def test_recover_returns_no_commit(self):
+        harness = SchemeHarness("ideal")
+        harness.store(line(1))
+        harness.system.crash()
+        image, commit_id = harness.scheme.recover()
+        assert commit_id is None
+        # The dirty line never reached NVM: the image is torn/stale.
+        assert image.get(line(1), 0) == 0
+
+    def test_no_logging_traffic(self):
+        harness = SchemeHarness("ideal")
+        for i in range(20):
+            harness.store(line(i))
+        harness.end_epoch()
+        assert harness.stats.get("nvm.iops.sequential") == 0
+        assert harness.stats.get("nvm.iops.random") == 0
+
+    def test_finalize_drains(self):
+        harness = SchemeHarness("ideal")
+        harness.scheme.write_back(line(1), 1, now=harness.now)
+        assert harness.scheme.finalize(harness.now) > 0

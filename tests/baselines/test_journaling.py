@@ -1,0 +1,105 @@
+"""Journaling (redo WAL): buffer snooping, overflow commits, apply."""
+
+import pytest
+
+from helpers import SchemeHarness, line, tiny_config
+
+
+def make(table_entries=32):
+    return SchemeHarness(
+        "journaling", config=tiny_config(journal_table_entries=table_entries)
+    )
+
+
+class TestRedoBuffer:
+    def test_writeback_lands_in_buffer_not_memory(self):
+        harness = make()
+        harness.scheme.write_back(line(1), 42, now=0)
+        assert harness.controller.read_token(line(1)) == 0
+        assert harness.scheme.redo_contents[line(1)] == 42
+
+    def test_fills_snoop_the_buffer(self):
+        harness = make()
+        harness.scheme.write_back(line(1), 42, now=0)
+        assert harness.scheme.fill_token(line(1)) == 42
+        # End-to-end: a load of the line must see the buffered data.
+        assert harness.load(line(1)) == 42
+
+    def test_buffer_miss_snoop_returns_none(self):
+        harness = make()
+        assert harness.scheme.fill_token(line(9)) is None
+
+
+class TestCommit:
+    def test_commit_applies_buffer_to_memory(self):
+        harness = make()
+        token = harness.store(line(1))
+        harness.end_epoch()
+        assert harness.controller.read_token(line(1)) == token
+        assert harness.scheme.redo_contents == {}
+
+    def test_commit_flushes_caches(self):
+        harness = make()
+        harness.store(line(1))
+        harness.end_epoch()
+        assert harness.hierarchy.dirty_line_count() == 0
+
+    def test_commit_stalls(self):
+        harness = make()
+        for i in range(10):
+            harness.store(line(i))
+        assert harness.end_epoch() > 0
+
+    def test_apply_counts_random_iops(self):
+        harness = make()
+        harness.store(line(1))
+        harness.end_epoch()
+        # Apply: one random read of the entry plus one random write.
+        assert harness.stats.get("nvm.iops.random") >= 2
+
+    def test_table_cleared_after_commit(self):
+        harness = make()
+        harness.store(line(1))
+        harness.end_epoch()
+        assert len(harness.scheme.table) == 0
+
+
+class TestOverflow:
+    def test_overflow_forces_commit(self):
+        harness = make(table_entries=16)  # one 16-way set
+        for i in range(30):
+            harness.store(line(i))
+        assert harness.stats.get("commits.forced") >= 1
+        assert harness.system.commit_count >= 1
+
+    def test_no_overflow_when_write_set_fits(self):
+        harness = make(table_entries=64)
+        for i in range(10):
+            harness.store(line(i))
+        assert harness.stats.get("commits.forced") == 0
+
+    def test_rewrites_do_not_consume_entries(self):
+        harness = make(table_entries=16)
+        for _ in range(100):
+            harness.store(line(1))
+        assert harness.stats.get("commits.forced") == 0
+
+
+class TestRecovery:
+    def test_recovery_is_last_commit(self):
+        harness = make()
+        token = harness.store(line(1))
+        harness.end_epoch()
+        harness.store(line(1))  # uncommitted
+        image, commit_id, reference = harness.crash_and_recover()
+        assert commit_id == 0
+        assert image[line(1)] == token
+        assert reference[line(1)] == token
+
+    def test_recovery_before_any_commit_is_initial(self):
+        harness = make()
+        harness.store(line(1))
+        image, commit_id, reference = harness.crash_and_recover()
+        assert commit_id == -1
+        assert reference == {}
+        assert image.get(line(1), 0) == 0

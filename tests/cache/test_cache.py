@@ -1,0 +1,152 @@
+"""Set-associative LRU cache structure."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.cache import SetAssocCache
+from repro.cache.line import CacheLine
+from repro.common.errors import ConfigurationError
+
+
+def make(size=1024, assoc=2, line_size=64):
+    return SetAssocCache("test", size, assoc, line_size)
+
+
+class TestConstruction:
+    def test_set_count(self):
+        cache = make(size=1024, assoc=2)
+        assert cache.n_sets == 8
+
+    def test_rejects_non_divisible_size(self):
+        with pytest.raises(ConfigurationError):
+            make(size=1000)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigurationError):
+            SetAssocCache("bad", 3 * 64 * 2, 2, 64)
+
+    def test_single_set_cache(self):
+        cache = SetAssocCache("tiny", 128, 2, 64)
+        assert cache.n_sets == 1
+
+
+class TestLookupInsert:
+    def test_miss_returns_none(self):
+        assert make().lookup(0) is None
+
+    def test_insert_then_hit(self):
+        cache = make()
+        cache.insert(CacheLine(0, token=5))
+        line = cache.lookup(0)
+        assert line is not None
+        assert line.token == 5
+
+    def test_insert_within_capacity_no_eviction(self):
+        cache = make(size=1024, assoc=2)
+        assert cache.insert(CacheLine(0)) is None
+        # Same set: addresses 8 lines apart (8 sets).
+        assert cache.insert(CacheLine(8 * 64)) is None
+
+    def test_eviction_on_overflow(self):
+        cache = make(size=1024, assoc=2)
+        stride = 8 * 64
+        cache.insert(CacheLine(0))
+        cache.insert(CacheLine(stride))
+        victim = cache.insert(CacheLine(2 * stride))
+        assert victim is not None
+        assert victim.addr == 0  # LRU
+
+    def test_lookup_touch_updates_lru(self):
+        cache = make(size=1024, assoc=2)
+        stride = 8 * 64
+        cache.insert(CacheLine(0))
+        cache.insert(CacheLine(stride))
+        cache.lookup(0)  # 0 becomes MRU
+        victim = cache.insert(CacheLine(2 * stride))
+        assert victim.addr == stride
+
+    def test_lookup_no_touch_preserves_lru(self):
+        cache = make(size=1024, assoc=2)
+        stride = 8 * 64
+        cache.insert(CacheLine(0))
+        cache.insert(CacheLine(stride))
+        cache.lookup(0, touch=False)
+        victim = cache.insert(CacheLine(2 * stride))
+        assert victim.addr == 0
+
+    def test_contains(self):
+        cache = make()
+        cache.insert(CacheLine(64))
+        assert cache.contains(64)
+        assert not cache.contains(128)
+
+    def test_eviction_counter(self):
+        cache = make(size=1024, assoc=2)
+        stride = 8 * 64
+        for i in range(3):
+            cache.insert(CacheLine(i * stride))
+        assert cache.stats.get("test.evictions") == 1
+
+
+class TestRemoveInvalidate:
+    def test_remove_returns_line(self):
+        cache = make()
+        cache.insert(CacheLine(64, token=3))
+        removed = cache.remove(64)
+        assert removed.token == 3
+        assert cache.lookup(64) is None
+
+    def test_remove_missing_returns_none(self):
+        assert make().remove(64) is None
+
+    def test_invalidate_all(self):
+        cache = make()
+        cache.insert(CacheLine(0))
+        cache.insert(CacheLine(64))
+        cache.invalidate_all()
+        assert len(cache) == 0
+
+
+class TestIteration:
+    def test_iter_lines(self):
+        cache = make()
+        cache.insert(CacheLine(0))
+        cache.insert(CacheLine(64))
+        assert {line.addr for line in cache.iter_lines()} == {0, 64}
+
+    def test_dirty_lines(self):
+        cache = make()
+        clean = CacheLine(0)
+        dirty = CacheLine(64)
+        dirty.dirty = True
+        cache.insert(clean)
+        cache.insert(dirty)
+        assert [line.addr for line in cache.dirty_lines()] == [64]
+        assert cache.dirty_count() == 1
+
+    def test_resident_count(self):
+        cache = make()
+        cache.insert(CacheLine(0))
+        assert cache.resident_count() == len(cache) == 1
+
+
+class TestLruProperty:
+    @given(st.lists(st.integers(min_value=0, max_value=15), max_size=60))
+    def test_capacity_never_exceeded(self, accesses):
+        cache = make(size=512, assoc=2)  # 4 sets
+        for n in accesses:
+            addr = n * 64
+            if cache.lookup(addr) is None:
+                cache.insert(CacheLine(addr))
+        for cache_set in cache._sets:
+            assert len(cache_set) <= 2
+
+    @given(st.lists(st.integers(min_value=0, max_value=15), max_size=60))
+    def test_no_duplicate_lines(self, accesses):
+        cache = make(size=512, assoc=2)
+        for n in accesses:
+            addr = n * 64
+            if cache.lookup(addr) is None:
+                cache.insert(CacheLine(addr))
+        addrs = [line.addr for line in cache.iter_lines()]
+        assert len(addrs) == len(set(addrs))

@@ -1,0 +1,80 @@
+"""Regression pins for two hierarchy-coherence bugs caught by hypothesis.
+
+Bug 1: sync paths merged L1 before L2, letting a stale dirty L2 copy
+overwrite fresher L1 data in the LLC.
+
+Bug 2: after a sync, a *stale-but-clean* L2 copy survived; when the fresh
+L1 copy was later dropped by a clean eviction, a refill served the stale
+L2 data — silently corrupting both execution and recovery.
+"""
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.stats import StatCounters
+from repro.mem.controller import MemoryController
+from repro.mem.timing import NvmTimings
+
+
+def make_hierarchy():
+    stats = StatCounters()
+    controller = MemoryController(NvmTimings(), stats)
+    hierarchy = CacheHierarchy(
+        controller,
+        n_cores=1,
+        l1_size=128,   # 1 set x 2 ways
+        l1_assoc=2,
+        l2_size=512,   # 2 sets x 4 ways
+        l2_assoc=4,
+        llc_size_per_core=4096,
+        llc_assoc=4,
+        stats=stats,
+    )
+    return hierarchy, controller
+
+
+class TestMergeOrder:
+    def test_l1_wins_over_stale_dirty_l2(self):
+        """Bug 1: L1's newer dirty data must win the sync merge."""
+        hierarchy, _controller = make_hierarchy()
+        # Store twice with an L1 eviction in between, so L2 holds a stale
+        # dirty copy and L1 a fresh dirty one.
+        hierarchy.access(0, 0, True, 10, now=0)          # L1+L2 have line 0
+        hierarchy.access(0, 2 * 64, False, 0, now=0)     # fills L1 set
+        hierarchy.access(0, 4 * 64, False, 0, now=0)     # evicts 0 to L2 (dirty 10)
+        hierarchy.access(0, 0, True, 20, now=0)          # refill, store 20 in L1
+        hierarchy.sync_all_private()
+        llc_line = hierarchy.llc.lookup(0, touch=False)
+        assert llc_line.token == 20
+
+    def test_sync_private_line_same_ordering(self):
+        hierarchy, _controller = make_hierarchy()
+        hierarchy.access(0, 0, True, 10, now=0)
+        hierarchy.access(0, 2 * 64, False, 0, now=0)
+        hierarchy.access(0, 4 * 64, False, 0, now=0)
+        hierarchy.access(0, 0, True, 20, now=0)
+        llc_line = hierarchy.sync_private_line(0)
+        assert llc_line.token == 20
+
+
+class TestStaleCopyRefresh:
+    def test_stale_clean_l2_copy_cannot_shadow_synced_data(self):
+        """Bug 2: after a sync, every private copy must match the LLC."""
+        hierarchy, _controller = make_hierarchy()
+        hierarchy.access(0, 0, True, 10, now=0)  # L1 dirty 10; L2 copy stale 0
+        hierarchy.sync_private_line(0)           # LLC now 10, everyone clean
+        # Drop the (clean) L1 copy via conflict evictions.
+        hierarchy.access(0, 2 * 64, False, 0, now=0)
+        hierarchy.access(0, 4 * 64, False, 0, now=0)
+        assert not hierarchy.l1(0).contains(0)
+        # The refill must serve the synced value, not a stale L2 copy.
+        hierarchy.access(0, 0, False, 0, now=0)
+        assert hierarchy.l1(0).lookup(0, touch=False).token == 10
+
+    def test_sync_all_private_refreshes_everything(self):
+        hierarchy, _controller = make_hierarchy()
+        hierarchy.access(0, 0, True, 33, now=0)
+        hierarchy.sync_all_private()
+        for cache in (hierarchy.l1(0), hierarchy.l2(0)):
+            copy = cache.lookup(0, touch=False)
+            if copy is not None:
+                assert copy.token == 33
+                assert not copy.dirty

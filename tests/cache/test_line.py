@@ -1,0 +1,48 @@
+"""Cache line state and fill propagation."""
+
+from repro.cache.line import CacheLine, LineState
+from repro.common.eid import EpochId
+
+
+class TestInitialState:
+    def test_fresh_line_has_no_eid(self):
+        line = CacheLine(0x40)
+        assert line.eid == EpochId.NONE
+
+    def test_fresh_line_clean(self):
+        assert not CacheLine(0).dirty
+
+    def test_default_state(self):
+        assert CacheLine(0).state == LineState.EXCLUSIVE
+
+    def test_no_sub_eids_by_default(self):
+        assert CacheLine(0).sub_eids is None
+
+    def test_owner(self):
+        assert CacheLine(0).owner is None
+        assert CacheLine(0, owner=3).owner == 3
+
+
+class TestCopyFill:
+    def test_copies_token_and_eid(self):
+        source = CacheLine(0x40, token=9)
+        source.eid = 5
+        copy = source.copy_fill(0x40)
+        assert copy.token == 9
+        assert copy.eid == 5
+
+    def test_copies_sub_eids_deeply(self):
+        source = CacheLine(0x40)
+        source.sub_eids = [1, 2, 3, 4]
+        copy = source.copy_fill(0x40)
+        copy.sub_eids[0] = 99
+        assert source.sub_eids[0] == 1
+
+    def test_copy_is_independent_object(self):
+        source = CacheLine(0x40, token=1)
+        copy = source.copy_fill(0x40)
+        copy.token = 2
+        assert source.token == 1
+
+    def test_repr_mentions_address(self):
+        assert "0x40" in repr(CacheLine(0x40))

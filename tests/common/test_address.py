@@ -1,0 +1,75 @@
+"""Address arithmetic: lines and pages."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.address import (
+    LINE_SIZE,
+    PAGE_SIZE,
+    iter_page_lines,
+    line_address,
+    line_offset,
+    lines_in_page,
+    page_address,
+    page_offset,
+)
+
+
+class TestLineArithmetic:
+    def test_aligned_address_unchanged(self):
+        assert line_address(128) == 128
+
+    def test_unaligned_rounds_down(self):
+        assert line_address(130) == 128
+
+    def test_offset(self):
+        assert line_offset(130) == 2
+
+    def test_offset_of_aligned_is_zero(self):
+        assert line_offset(192) == 0
+
+    def test_custom_line_size(self):
+        assert line_address(17, line_size=16) == 16
+
+    @given(st.integers(min_value=0, max_value=1 << 48))
+    def test_decomposition_is_lossless(self, addr):
+        assert line_address(addr) + line_offset(addr) == addr
+
+    @given(st.integers(min_value=0, max_value=1 << 48))
+    def test_line_address_is_aligned(self, addr):
+        assert line_address(addr) % LINE_SIZE == 0
+
+
+class TestPageArithmetic:
+    def test_page_address(self):
+        assert page_address(4097) == 4096
+
+    def test_page_offset(self):
+        assert page_offset(4097) == 1
+
+    def test_lines_in_page(self):
+        assert lines_in_page() == 64
+
+    def test_lines_in_page_custom(self):
+        assert lines_in_page(page_size=1024, line_size=64) == 16
+
+    @given(st.integers(min_value=0, max_value=1 << 48))
+    def test_decomposition_is_lossless(self, addr):
+        assert page_address(addr) + page_offset(addr) == addr
+
+
+class TestIterPageLines:
+    def test_yields_all_lines(self):
+        lines = list(iter_page_lines(4096 + 100))
+        assert len(lines) == 64
+        assert lines[0] == 4096
+        assert lines[-1] == 4096 + PAGE_SIZE - LINE_SIZE
+
+    def test_lines_are_aligned_and_unique(self):
+        lines = list(iter_page_lines(12345))
+        assert all(addr % LINE_SIZE == 0 for addr in lines)
+        assert len(set(lines)) == len(lines)
+
+    def test_all_lines_in_same_page(self):
+        lines = list(iter_page_lines(99999))
+        assert {page_address(addr) for addr in lines} == {page_address(99999)}

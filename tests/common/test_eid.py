@@ -1,0 +1,101 @@
+"""EID wraparound-tag arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.eid import (
+    EpochId,
+    check_window_fits,
+    eid_distance,
+    eid_in_window,
+    eid_le,
+    max_window,
+    resolve_tag,
+    tags_equal,
+    to_tag,
+)
+from repro.common.errors import ConfigurationError
+
+
+class TestTags:
+    def test_small_eid_is_its_own_tag(self):
+        assert to_tag(5) == 5
+
+    def test_wraparound(self):
+        assert to_tag(16) == 0
+        assert to_tag(17) == 1
+
+    def test_custom_width(self):
+        assert to_tag(9, bits=3) == 1
+
+    def test_none_sentinel_rejected(self):
+        with pytest.raises(ValueError):
+            to_tag(EpochId.NONE)
+
+    def test_tags_equal_across_wrap(self):
+        assert tags_equal(3, 19)
+        assert not tags_equal(3, 18)
+
+
+class TestWindow:
+    def test_max_window_4_bits(self):
+        assert max_window(4) == 15
+
+    def test_default_acs_gap_fits(self):
+        # The paper's gap of 3 plus the executing epoch fits easily.
+        assert check_window_fits(3) == 4
+
+    def test_oversized_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_window_fits(acs_gap=15, extra_inflight=1, bits=4)
+
+    def test_boundary_window_accepted(self):
+        assert check_window_fits(acs_gap=14, extra_inflight=1, bits=4) == 15
+
+
+class TestResolveTag:
+    def test_identity_at_small_eids(self):
+        assert resolve_tag(3, system_eid=5) == 3
+
+    def test_across_wraparound(self):
+        # SystemEID 18, a line tagged 15 was modified at full EID 15.
+        assert resolve_tag(15, system_eid=18) == 15
+
+    def test_tag_of_system_eid(self):
+        assert resolve_tag(to_tag(18), system_eid=18) == 18
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=15),
+    )
+    def test_roundtrip_within_window(self, system_eid, age):
+        eid = system_eid - age
+        if eid < 0:
+            return
+        assert resolve_tag(to_tag(eid), system_eid) == eid
+
+    def test_out_of_range_tag_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_tag(16, system_eid=20)
+
+    def test_negative_resolution_rejected(self):
+        # Tag 5 at SystemEID 3 would denote epoch -11.
+        with pytest.raises(ValueError):
+            resolve_tag(5, system_eid=3)
+
+
+class TestOrderingHelpers:
+    def test_eid_le(self):
+        assert eid_le(1, 2)
+        assert eid_le(2, 2)
+        assert not eid_le(3, 2)
+
+    def test_distance(self):
+        assert eid_distance(3, 7) == 4
+        assert eid_distance(7, 3) == 4
+
+    def test_in_window(self):
+        assert eid_in_window(5, 3, 7)
+        assert eid_in_window(3, 3, 7)
+        assert eid_in_window(7, 3, 7)
+        assert not eid_in_window(8, 3, 7)

@@ -1,0 +1,91 @@
+"""StatCounters behaviour."""
+
+from repro.common.stats import StatCounters
+
+
+class TestBasics:
+    def test_counter_starts_at_zero(self):
+        stats = StatCounters()
+        assert stats.get("anything") == 0
+
+    def test_add_default_increment(self):
+        stats = StatCounters()
+        stats.add("hits")
+        stats.add("hits")
+        assert stats.get("hits") == 2
+
+    def test_add_amount(self):
+        stats = StatCounters()
+        stats.add("bytes", 100)
+        stats.add("bytes", 28)
+        assert stats.get("bytes") == 128
+
+    def test_set_overwrites(self):
+        stats = StatCounters()
+        stats.add("x", 5)
+        stats.set("x", 1)
+        assert stats.get("x") == 1
+
+    def test_get_default(self):
+        stats = StatCounters()
+        assert stats.get("missing", default=7) == 7
+
+    def test_contains(self):
+        stats = StatCounters()
+        assert "x" not in stats
+        stats.add("x")
+        assert "x" in stats
+
+    def test_prefix(self):
+        stats = StatCounters(prefix="nvm.")
+        stats.add("reads")
+        assert stats.snapshot() == {"nvm.reads": 1}
+
+
+class TestSnapshotDiff:
+    def test_snapshot_is_frozen(self):
+        stats = StatCounters()
+        stats.add("a")
+        snap = stats.snapshot()
+        stats.add("a")
+        assert snap["a"] == 1
+        assert stats.get("a") == 2
+
+    def test_diff_reports_only_changes(self):
+        stats = StatCounters()
+        stats.add("a", 1)
+        stats.add("b", 2)
+        snap = stats.snapshot()
+        stats.add("b", 3)
+        stats.add("c", 1)
+        assert stats.diff(snap) == {"b": 3, "c": 1}
+
+    def test_diff_against_empty(self):
+        stats = StatCounters()
+        stats.add("a")
+        assert stats.diff({}) == {"a": 1}
+
+
+class TestMergeReset:
+    def test_merge_from(self):
+        a = StatCounters()
+        b = StatCounters()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        a.merge_from(b)
+        assert a.get("x") == 3
+        assert a.get("y") == 3
+
+    def test_reset(self):
+        stats = StatCounters()
+        stats.add("x")
+        stats.reset()
+        assert stats.get("x") == 0
+        assert stats.snapshot() == {}
+
+    def test_repr_sorted(self):
+        stats = StatCounters()
+        stats.add("b")
+        stats.add("a")
+        assert repr(stats) == "StatCounters(a=1, b=1)"

@@ -1,0 +1,60 @@
+"""Unit conversions: sizes and cycle arithmetic."""
+
+import pytest
+
+from repro.common.units import (
+    GB,
+    KB,
+    MB,
+    cycles_from_ns,
+    is_power_of_two,
+    ns_from_cycles,
+)
+
+
+class TestSizes:
+    def test_kb(self):
+        assert KB == 1024
+
+    def test_mb(self):
+        assert MB == 1024 * 1024
+
+    def test_gb(self):
+        assert GB == 1024 ** 3
+
+
+class TestCycleConversion:
+    def test_table_iv_row_read(self):
+        # 128 ns at 2 GHz = 256 cycles.
+        assert cycles_from_ns(128) == 256
+
+    def test_table_iv_row_write(self):
+        assert cycles_from_ns(368) == 736
+
+    def test_rounds_up(self):
+        assert cycles_from_ns(0.6) == 2  # 1.2 cycles -> 2
+
+    def test_exact_value_not_rounded(self):
+        assert cycles_from_ns(1.0) == 2
+
+    def test_zero(self):
+        assert cycles_from_ns(0) == 0
+
+    def test_custom_frequency(self):
+        assert cycles_from_ns(100, ghz=1.0) == 100
+
+    def test_roundtrip(self):
+        assert ns_from_cycles(cycles_from_ns(368)) == pytest.approx(368)
+
+    def test_ns_from_cycles_fractional(self):
+        assert ns_from_cycles(1) == pytest.approx(0.5)
+
+
+class TestPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 64, 4096, 1 << 30])
+    def test_powers(self, value):
+        assert is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 6, 4095, 100])
+    def test_non_powers(self, value):
+        assert not is_power_of_two(value)

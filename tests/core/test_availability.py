@@ -1,0 +1,100 @@
+"""Availability arithmetic: the paper's §IV-C claims, checked."""
+
+import pytest
+
+from repro.core.availability import (
+    SECONDS_PER_DAY,
+    availability,
+    compare_schemes,
+    compute_time_lost_per_day,
+    effective_throughput,
+    max_recovery_for_nines,
+    nines,
+    picl_worst_case_recovery_s,
+)
+
+
+class TestPaperClaims:
+    def test_five_nines_needs_864ms_recovery(self):
+        # "To achieve 99.999%, system must recover within 864ms" (per-day
+        # failures). 0.001% of 86,400 s = 864 ms (to first order).
+        budget = max_recovery_for_nines(5, mtbf_s=SECONDS_PER_DAY)
+        assert budget == pytest.approx(0.864, rel=0.01)
+
+    def test_4_4s_recovery_still_four_nines(self):
+        # "supposing recovery latency increases to 4.4s, system
+        # availability is still 99.99[5]% assuming a MTBF of one day."
+        a = availability(4.4, mtbf_s=SECONDS_PER_DAY)
+        assert a > 0.99994
+        assert nines(a) == 4
+
+    def test_25_percent_overhead_dwarfs_recovery_costs(self):
+        # "a 25% runtime overhead amounts to [hours] of compute time lost
+        # per day" — versus seconds for even a slow recovery.
+        lost_to_overhead = compute_time_lost_per_day(0.25)
+        assert lost_to_overhead > 17_000  # ~4.8 hours
+        assert lost_to_overhead > 1000 * 4.4  # >> one slow recovery
+
+    def test_picl_worst_case_multiplies_prior_work(self):
+        # Prior work: 620 ms worst case; PiCL: "lengthened by a few
+        # multiples" (the live-epoch window).
+        assert picl_worst_case_recovery_s() == pytest.approx(0.62 * 4)
+        assert picl_worst_case_recovery_s(acs_gap=7) == pytest.approx(0.62 * 8)
+        assert picl_worst_case_recovery_s(comingling_factor=2) == pytest.approx(1.24)
+
+    def test_picl_trade_is_worth_it(self):
+        # The paper's argument in one inequality: PiCL (no overhead,
+        # longer recovery) beats a 25%-overhead scheme with instant
+        # recovery.
+        picl = effective_throughput(0.01, picl_worst_case_recovery_s())
+        frm_like = effective_throughput(0.25, 0.62)
+        assert picl > frm_like
+
+
+class TestMechanics:
+    def test_availability_bounds(self):
+        assert availability(0) == 1.0
+        assert 0 < availability(1e9) < 0.01
+
+    def test_availability_validation(self):
+        with pytest.raises(ValueError):
+            availability(-1)
+        with pytest.raises(ValueError):
+            availability(1, mtbf_s=0)
+
+    def test_nines_counting(self):
+        assert nines(0.99) == 2
+        assert nines(0.999) == 3
+        assert nines(0.99999) == 5
+        assert nines(0.5) == 0
+
+    def test_nines_validation(self):
+        with pytest.raises(ValueError):
+            nines(1.0)
+
+    def test_max_recovery_monotone_in_nines(self):
+        assert max_recovery_for_nines(3) > max_recovery_for_nines(5)
+
+    def test_compute_time_lost_validation(self):
+        with pytest.raises(ValueError):
+            compute_time_lost_per_day(-0.1)
+
+    def test_compute_time_lost_zero_overhead(self):
+        assert compute_time_lost_per_day(0) == 0
+
+    def test_effective_throughput_degrades_with_both_costs(self):
+        base = effective_throughput(0.0, 0.0)
+        assert base == 1.0
+        assert effective_throughput(0.1, 0.0) < base
+        assert effective_throughput(0.0, 100.0) < base
+
+    def test_compare_schemes_sorted_best_first(self):
+        ranking = compare_schemes(
+            overheads={"picl": 0.01, "frm": 0.3, "journaling": 1.4},
+            recovery_latencies_s={"picl": 2.5, "frm": 0.62, "journaling": 0.0},
+        )
+        names = list(ranking)
+        assert names[0] == "picl"
+        assert names[-1] == "journaling"
+        values = list(ranking.values())
+        assert values == sorted(values, reverse=True)

@@ -1,0 +1,83 @@
+"""Bloom filter: no false negatives, bounded false positives."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.core.bloom import BloomFilter
+
+
+class TestBasics:
+    def test_empty_filter_contains_nothing(self):
+        bloom = BloomFilter()
+        assert not bloom.might_contain(0x40)
+
+    def test_added_address_found(self):
+        bloom = BloomFilter()
+        bloom.add(0x40)
+        assert bloom.might_contain(0x40)
+
+    def test_clear(self):
+        bloom = BloomFilter()
+        bloom.add(0x40)
+        bloom.clear()
+        assert not bloom.might_contain(0x40)
+        assert bloom.population == 0
+
+    def test_population_counts_adds(self):
+        bloom = BloomFilter()
+        bloom.add(0x40)
+        bloom.add(0x40)
+        assert bloom.population == 2
+
+    def test_saturation_grows(self):
+        bloom = BloomFilter()
+        assert bloom.saturation() == 0.0
+        bloom.add(0x40)
+        assert bloom.saturation() > 0.0
+
+
+class TestValidation:
+    def test_bits_must_be_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            BloomFilter(n_bits=1000)
+
+    def test_needs_a_hash(self):
+        with pytest.raises(ConfigurationError):
+            BloomFilter(n_hashes=0)
+
+
+class TestNoFalseNegatives:
+    @given(st.sets(st.integers(min_value=0, max_value=1 << 40).map(lambda n: n * 64), max_size=64))
+    @settings(max_examples=50)
+    def test_every_added_address_is_found(self, addrs):
+        bloom = BloomFilter()
+        for addr in addrs:
+            bloom.add(addr)
+        for addr in addrs:
+            assert bloom.might_contain(addr)
+
+
+class TestFalsePositiveRate:
+    def test_paper_sizing_keeps_fp_rate_insignificant(self):
+        # "the false-positive rate is insignificant when a sufficiently
+        # large bloom filter is used (i.e., 4096 bits vs 32 entries)".
+        bloom = BloomFilter(n_bits=4096, n_hashes=2)
+        members = [i * 64 for i in range(32)]
+        for addr in members:
+            bloom.add(addr)
+        probes = [i * 64 for i in range(1000, 11000)]
+        false_positives = sum(1 for p in probes if bloom.might_contain(p))
+        assert false_positives / len(probes) < 0.01
+
+    def test_small_filter_has_more_false_positives(self):
+        small = BloomFilter(n_bits=64, n_hashes=2)
+        large = BloomFilter(n_bits=4096, n_hashes=2)
+        members = [i * 64 for i in range(32)]
+        for addr in members:
+            small.add(addr)
+            large.add(addr)
+        probes = [i * 64 for i in range(1000, 3000)]
+        fp_small = sum(1 for p in probes if small.might_contain(p))
+        fp_large = sum(1 for p in probes if large.might_contain(p))
+        assert fp_small > fp_large

@@ -1,0 +1,96 @@
+"""Epoch state machine: commit/persist ordering and the tag window."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.core.epoch import EpochManager
+
+
+class TestInitialState:
+    def test_system_starts_at_epoch_zero(self):
+        epochs = EpochManager()
+        assert epochs.system_eid == 0
+
+    def test_nothing_persisted_initially(self):
+        assert EpochManager().persisted_eid == -1
+
+    def test_oversized_gap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EpochManager(acs_gap=20, eid_bits=4)
+
+
+class TestCommit:
+    def test_commit_advances_system_eid(self):
+        epochs = EpochManager(acs_gap=3)
+        committed, _target = epochs.commit()
+        assert committed == 0
+        assert epochs.system_eid == 1
+
+    def test_no_persist_target_while_pipeline_fills(self):
+        epochs = EpochManager(acs_gap=3)
+        targets = [epochs.commit()[1] for _ in range(3)]
+        assert targets == [None, None, None]
+
+    def test_persist_target_trails_by_gap(self):
+        epochs = EpochManager(acs_gap=3)
+        for _ in range(3):
+            epochs.commit()
+        _committed, target = epochs.commit()  # commits epoch 3
+        assert target == 0
+
+    def test_gap_zero_persists_immediately(self):
+        epochs = EpochManager(acs_gap=0)
+        committed, target = epochs.commit()
+        assert target == committed == 0
+
+
+class TestPersist:
+    def test_persist_advances(self):
+        epochs = EpochManager(acs_gap=0)
+        epochs.commit()
+        epochs.persist(0)
+        assert epochs.persisted_eid == 0
+
+    def test_persist_must_be_in_order(self):
+        epochs = EpochManager(acs_gap=0)
+        epochs.commit()
+        epochs.commit()
+        with pytest.raises(SimulationError):
+            epochs.persist(1)  # skipping 0
+
+    def test_cannot_persist_uncommitted(self):
+        epochs = EpochManager(acs_gap=0)
+        with pytest.raises(SimulationError):
+            epochs.persist(0)
+
+    def test_cannot_persist_executing_epoch(self):
+        epochs = EpochManager(acs_gap=0)
+        epochs.commit()
+        epochs.persist(0)
+        with pytest.raises(SimulationError):
+            epochs.persist(1)  # epoch 1 is still executing
+
+
+class TestWindowQueries:
+    def test_committed_unpersisted(self):
+        epochs = EpochManager(acs_gap=3)
+        for _ in range(4):
+            epochs.commit()
+        assert epochs.committed_unpersisted() == [0, 1, 2, 3]
+        epochs.persist(0)
+        assert epochs.committed_unpersisted() == [1, 2, 3]
+
+    def test_in_flight_bounded_by_gap_in_steady_state(self):
+        epochs = EpochManager(acs_gap=3)
+        for _ in range(20):
+            _committed, target = epochs.commit()
+            if target is not None:
+                epochs.persist(target)
+        assert epochs.in_flight() == epochs.acs_gap
+
+    def test_is_transient(self):
+        epochs = EpochManager()
+        assert epochs.is_transient(0)
+        assert not epochs.is_transient(1)
+        epochs.commit()
+        assert epochs.is_transient(1)

@@ -1,0 +1,111 @@
+"""Tracking granularity: 64 B default vs OpenPiton's 16 B sub-blocks."""
+
+import pytest
+
+from helpers import SchemeHarness, line, tiny_config
+from repro.cache.line import CacheLine
+from repro.core.granularity import (
+    GranularityPolicy,
+    SubBlockPolicy,
+    make_policy,
+)
+from repro.core.picl import PiclConfig
+from repro.core.undo import ENTRY_BYTES, SUBBLOCK_ENTRY_BYTES
+
+
+class TestFactory:
+    def test_64(self):
+        assert isinstance(make_policy(64), GranularityPolicy)
+        assert make_policy(64).entry_bytes == ENTRY_BYTES
+
+    def test_16(self):
+        assert isinstance(make_policy(16), SubBlockPolicy)
+        assert make_policy(16).entry_bytes == SUBBLOCK_ENTRY_BYTES
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            make_policy(32)
+
+
+class TestLinePolicy:
+    def test_needs_undo_on_fresh_line(self):
+        policy = make_policy(64)
+        cache_line = CacheLine(0)
+        assert policy.needs_undo(cache_line, system_eid=0, store_hint=0) == -1
+
+    def test_transient_line_needs_nothing(self):
+        policy = make_policy(64)
+        cache_line = CacheLine(0)
+        policy.apply_store(cache_line, system_eid=2, store_hint=0)
+        assert policy.needs_undo(cache_line, system_eid=2, store_hint=1) is None
+
+    def test_cross_epoch_returns_tagged_eid(self):
+        policy = make_policy(64)
+        cache_line = CacheLine(0)
+        policy.apply_store(cache_line, system_eid=2, store_hint=0)
+        assert policy.needs_undo(cache_line, system_eid=5, store_hint=1) == 2
+
+
+class TestSubBlockPolicy:
+    def test_apply_store_initializes_sub_eids(self):
+        policy = make_policy(16)
+        cache_line = CacheLine(0)
+        policy.apply_store(cache_line, system_eid=1, store_hint=0)
+        assert cache_line.sub_eids is not None
+        assert len(cache_line.sub_eids) == 4
+
+    def test_different_sub_blocks_tracked_independently(self):
+        policy = make_policy(16)
+        cache_line = CacheLine(0)
+        policy.apply_store(cache_line, system_eid=1, store_hint=0)  # sub 0
+        # Same epoch, different sub-block: a new undo is still needed.
+        assert policy.needs_undo(cache_line, system_eid=1, store_hint=1) == -1
+
+    def test_same_sub_block_transient(self):
+        policy = make_policy(16)
+        cache_line = CacheLine(0)
+        policy.apply_store(cache_line, system_eid=1, store_hint=4)  # sub 0
+        assert policy.needs_undo(cache_line, system_eid=1, store_hint=8) is None
+
+    def test_line_eid_tracks_latest(self):
+        policy = make_policy(16)
+        cache_line = CacheLine(0)
+        policy.apply_store(cache_line, system_eid=3, store_hint=2)
+        assert cache_line.eid == 3
+
+
+class TestSchemeIntegration:
+    def _run(self, granularity, stores):
+        config = tiny_config(
+            picl=PiclConfig(acs_gap=1, tracking_granularity=granularity)
+        )
+        harness = SchemeHarness("picl", config=config)
+        for _ in range(stores):
+            harness.store(line(1))
+        return harness
+
+    def test_subblock_mode_creates_more_entries(self):
+        coarse = self._run(64, stores=4)
+        fine = self._run(16, stores=4)
+        assert (
+            fine.stats.get("undo.entries_created")
+            > coarse.stats.get("undo.entries_created")
+        )
+
+    def test_subblock_entries_are_smaller_on_log(self):
+        fine = self._run(16, stores=4)
+        assert fine.scheme.log.entry_bytes == SUBBLOCK_ENTRY_BYTES
+
+    def test_subblock_recovery_still_exact(self):
+        config = tiny_config(
+            picl=PiclConfig(acs_gap=1, tracking_granularity=16)
+        )
+        harness = SchemeHarness("picl", config=config)
+        for i in range(6):
+            harness.store(line(i % 3))
+            if i % 2:
+                harness.end_epoch()
+        image, commit_id, reference = harness.crash_and_recover()
+        assert reference is not None
+        for addr in set(image) | set(reference):
+            assert image.get(addr, 0) == reference.get(addr, 0)

@@ -1,0 +1,78 @@
+"""I/O consistency under deferred persistency (§IV-C)."""
+
+import pytest
+
+from helpers import SchemeHarness, line, tiny_config
+from repro.core.io_consistency import IoConsistencyBuffer
+from repro.core.picl import PiclConfig
+
+
+def make(acs_gap=2):
+    config = tiny_config(picl=PiclConfig(acs_gap=acs_gap))
+    harness = SchemeHarness("picl", config=config)
+    io = IoConsistencyBuffer(harness.scheme)
+    return harness, io
+
+
+class TestReads:
+    def test_reads_proceed_immediately(self):
+        _harness, io = make()
+        assert io.io_read(now=100) == 100
+
+
+class TestBufferedWrites:
+    def test_write_held_until_epoch_persists(self):
+        harness, io = make(acs_gap=1)
+        harness.store(line(1))
+        released = io.io_write("packet", now=harness.now)
+        assert released is None
+        assert io.pending_count() == 1
+        harness.end_epoch()  # commit 0 (gap 1: nothing persists)
+        assert io.pending_count() == 1
+        harness.end_epoch()  # commit 1, persist 0 -> release
+        assert io.pending_count() == 0
+        assert len(io.released) == 1
+
+    def test_release_delay_is_gap_epochs(self):
+        harness, io = make(acs_gap=2)
+        io.io_write("x", now=harness.now)
+        for _ in range(3):
+            harness.end_epoch()
+        delays = io.release_delays()
+        assert len(delays) == 1
+        assert delays[0] >= 0
+
+    def test_writes_of_later_epochs_stay_pending(self):
+        harness, io = make(acs_gap=1)
+        io.io_write("early", now=harness.now)
+        harness.end_epoch()
+        io.io_write("late", now=harness.now)
+        harness.end_epoch()  # persists epoch 0 only
+        assert len(io.released) == 1
+        assert io.released[0].payload == "early"
+        assert io.pending_count() == 1
+
+
+class TestUnreliableInterfaces:
+    def test_unreliable_writes_release_immediately(self):
+        harness, io = make()
+        released_at = io.io_write("udp", now=harness.now, unreliable=True)
+        assert released_at == harness.now
+        assert io.pending_count() == 0
+
+
+class TestCriticalWrites:
+    def test_critical_write_forces_bulk_acs(self):
+        harness, io = make(acs_gap=3)
+        harness.store(line(1))
+        released_at = io.io_write("fsync", now=harness.now, critical=True)
+        assert released_at is not None
+        assert harness.stats.get("picl.bulk_acs") == 1
+        assert harness.scheme.epochs.in_flight() == 0
+
+    def test_critical_write_releases_earlier_pending_too(self):
+        harness, io = make(acs_gap=3)
+        io.io_write("a", now=harness.now)
+        io.io_write("b", now=harness.now, critical=True)
+        assert io.pending_count() == 0
+        assert len(io.released) == 2

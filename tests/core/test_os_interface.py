@@ -1,0 +1,87 @@
+"""OS duties: handler cost, log extension, crash handling."""
+
+import pytest
+
+from helpers import SchemeHarness, line, tiny_config
+from repro.common.errors import RecoveryError
+from repro.core.os_interface import EpochBoundaryHandler, OsInterface
+from repro.core.picl import PiclConfig
+from repro.mem.log_region import LogRegion
+from repro.mem.timing import NvmTimings
+
+
+class TestEpochBoundaryHandler:
+    def test_cost_scales_with_cores(self):
+        one = EpochBoundaryHandler(n_cores=1)
+        eight = EpochBoundaryHandler(n_cores=8)
+        assert eight.cost_cycles() > one.cost_cycles()
+
+    def test_cost_components(self):
+        handler = EpochBoundaryHandler(n_cores=2, base_cycles=100, cycles_per_line=10)
+        assert handler.cost_cycles() == 100 + 2 * 4 * 10
+
+
+class TestLogExtension:
+    def test_grant_extension_grows_region(self):
+        os_iface = OsInterface(extension_bytes=1000)
+        log = LogRegion(capacity_bytes=144, entry_bytes=72)
+        before = log.capacity_bytes
+        assert os_iface.grant_extension(log, needed_bytes=72)
+        assert log.capacity_bytes == before + 1000
+        assert os_iface.extensions_granted == 1
+
+    def test_grant_covers_large_requests(self):
+        os_iface = OsInterface(extension_bytes=100)
+        log = LogRegion(capacity_bytes=144, entry_bytes=72)
+        os_iface.grant_extension(log, needed_bytes=5000)
+        assert log.capacity_bytes >= 144 + 5000
+
+    def test_wired_as_callback(self):
+        os_iface = OsInterface(extension_bytes=10_000)
+        log = LogRegion(
+            capacity_bytes=72, entry_bytes=72, on_exhausted=os_iface.grant_extension
+        )
+        from repro.core.undo import UndoEntry
+
+        log.append(UndoEntry(0, 1, 0, 1))
+        log.append(UndoEntry(64, 2, 0, 1))
+        assert os_iface.extensions_granted == 1
+
+
+class TestCrashHandling:
+    def _persisted_harness(self):
+        config = tiny_config(picl=PiclConfig(acs_gap=0))
+        harness = SchemeHarness("picl", config=config)
+        harness.store(line(1))
+        harness.end_epoch()
+        harness.store(line(2))
+        return harness
+
+    def test_handle_crash_returns_image_and_report(self):
+        harness = self._persisted_harness()
+        harness.system.crash()
+        os_iface = OsInterface()
+        image, commit_id, report = os_iface.handle_crash(harness.scheme)
+        assert commit_id == 0
+        assert report is not None
+
+    def test_handle_crash_verifies_reference(self):
+        harness = self._persisted_harness()
+        reference = harness.system.commit_snapshot(0)
+        harness.system.crash()
+        OsInterface().handle_crash(harness.scheme, reference_snapshot=reference)
+
+    def test_handle_crash_raises_on_bad_reference(self):
+        harness = self._persisted_harness()
+        harness.system.crash()
+        with pytest.raises(RecoveryError):
+            OsInterface().handle_crash(
+                harness.scheme, reference_snapshot={line(1): 123456}
+            )
+
+    def test_recovery_latency_estimate(self):
+        harness = self._persisted_harness()
+        latency = OsInterface().estimate_recovery_latency(
+            harness.scheme, NvmTimings()
+        )
+        assert latency >= 0

@@ -1,0 +1,278 @@
+"""PiCL scheme semantics: cache-driven logging, ACS, multi-undo."""
+
+import pytest
+
+from helpers import SchemeHarness, images_equal, line, tiny_config
+from repro.core.picl import PiclConfig
+from repro.sim.config import SystemConfig
+
+
+def make_harness(acs_gap=3, **picl_overrides):
+    config = tiny_config(picl=PiclConfig(acs_gap=acs_gap, **picl_overrides))
+    return SchemeHarness("picl", config=config)
+
+
+class TestCacheDrivenLogging:
+    def test_first_store_to_clean_line_logs_undo(self):
+        harness = make_harness()
+        harness.store(line(1))
+        assert harness.stats.get("undo.entries_created") == 1
+        entry = harness.scheme.buffer.pending_entries()[0]
+        assert entry.addr == line(1)
+        assert entry.token == 0  # pre-store (initial) contents
+        assert entry.valid_from == -1  # PersistedEID at creation
+        assert entry.valid_till == 0  # the executing epoch
+
+    def test_same_epoch_stores_log_once(self):
+        harness = make_harness()
+        harness.store(line(1))
+        harness.store(line(1))
+        harness.store(line(1))
+        assert harness.stats.get("undo.entries_created") == 1
+
+    def test_cross_epoch_store_logs_again(self):
+        harness = make_harness()
+        first_token = harness.store(line(1))
+        harness.end_epoch()
+        harness.store(line(1))
+        entries = harness.scheme.buffer.pending_entries()
+        assert len(entries) == 2
+        cross = entries[1]
+        assert cross.token == first_token
+        assert cross.valid_from == 0
+        assert cross.valid_till == 1
+
+    def test_store_updates_line_eid(self):
+        harness = make_harness()
+        harness.store(line(1))
+        assert harness.hierarchy.l1(0).lookup(line(1), touch=False).eid == 0
+        harness.end_epoch()
+        harness.store(line(1))
+        assert harness.hierarchy.l1(0).lookup(line(1), touch=False).eid == 1
+
+    def test_undo_forwarding_updates_llc_eid(self):
+        # "the private cache updates the EID tag and forwards undo data
+        # entries to the LLC (the EID tag at the LLC is also updated)".
+        harness = make_harness()
+        harness.store(line(1))
+        assert harness.hierarchy.llc.lookup(line(1), touch=False).eid == 0
+
+    def test_no_undo_for_loads(self):
+        harness = make_harness()
+        harness.load(line(1))
+        harness.load(line(2))
+        assert harness.stats.get("undo.entries_created") == 0
+
+    def test_cross_epoch_store_count_stat(self):
+        harness = make_harness()
+        harness.store(line(1))
+        harness.end_epoch()
+        harness.store(line(1))
+        assert harness.stats.get("picl.cross_epoch_stores") == 2
+
+
+class TestEpochBoundary:
+    def test_commit_is_cheap(self):
+        # No synchronous flush: the boundary costs only the handler (plus
+        # posted-write backpressure, which an idle system has none of).
+        harness = make_harness()
+        for i in range(20):
+            harness.store(line(i))
+        stall = harness.end_epoch()
+        assert stall <= harness.system.epoch_handler_cycles + 100
+
+    def test_no_dirty_data_flushed_at_commit(self):
+        harness = make_harness()
+        harness.store(line(1))
+        harness.end_epoch()
+        assert harness.hierarchy.l1(0).lookup(line(1), touch=False).dirty
+
+    def test_commit_ids_match_epoch_ids(self):
+        harness = make_harness()
+        harness.end_epoch()
+        harness.end_epoch()
+        assert harness.scheme.epochs.system_eid == 2
+        assert harness.system.commit_count == 2
+
+
+class TestAcs:
+    def test_persist_trails_by_gap(self):
+        harness = make_harness(acs_gap=2)
+        for expected_persisted in (-1, -1, 0, 1):
+            harness.end_epoch()
+            assert harness.scheme.epochs.persisted_eid == expected_persisted
+
+    def test_acs_writes_back_only_target_epoch(self):
+        harness = make_harness(acs_gap=1)
+        token_b = harness.store(line(2))  # epoch 0
+        harness.end_epoch()
+        harness.store(line(1))  # epoch 1: different line
+        harness.end_epoch()  # commits epoch 1, persists epoch 0
+        # line(2) (epoch 0) must now be durable in place...
+        assert harness.controller.read_token(line(2)) == token_b
+        # ...and clean in the cache.
+        assert not harness.hierarchy.llc.lookup(line(2), touch=False).dirty
+        # line(1) (epoch 1) is still volatile.
+        assert harness.controller.read_token(line(1)) == 0
+
+    def test_acs_skips_lines_rewritten_in_later_epochs(self):
+        # Fig 6: A is modified again in Epoch2, so ACS1 does not write it —
+        # its undo entry already covers recovery.
+        harness = make_harness(acs_gap=1)
+        harness.store(line(1))  # epoch 0
+        harness.end_epoch()
+        harness.store(line(1))  # epoch 1 (cross-epoch; LLC EID moves to 1)
+        harness.end_epoch()  # persists epoch 0
+        assert harness.controller.read_token(line(1)) == 0
+        assert harness.stats.get("acs.writebacks") == 0
+
+    def test_acs_inplace_writes_count_as_random(self):
+        # Fig 12's accounting: "in-place write count for PiCL" is random.
+        harness = make_harness(acs_gap=0)
+        harness.store(line(1))
+        harness.end_epoch()
+        assert harness.stats.get("nvm.iops.random") >= 1
+
+    def test_acs_flushes_undo_buffer(self):
+        harness = make_harness(acs_gap=0)
+        harness.store(line(1))
+        assert len(harness.scheme.buffer) == 1
+        harness.end_epoch()
+        assert len(harness.scheme.buffer) == 0
+
+    def test_acs_snoops_dirty_private_copies(self):
+        harness = make_harness(acs_gap=0)
+        token = harness.store(line(1))  # dirty only in L1
+        harness.end_epoch()
+        assert harness.controller.read_token(line(1)) == token
+
+    def test_gc_runs_after_persist(self):
+        harness = make_harness(acs_gap=0)
+        harness.store(line(1))
+        harness.end_epoch()  # persists epoch 0; entry [.., 0) expires
+        assert harness.scheme.log.entry_count == 0
+
+
+class TestMultiUndoWindow:
+    def test_multiple_epochs_in_flight(self):
+        harness = make_harness(acs_gap=3)
+        for i in range(3):
+            harness.store(line(i))
+            harness.end_epoch()
+        assert harness.scheme.epochs.in_flight() == 3
+
+    def test_comingled_entries_in_one_log(self):
+        harness = make_harness(acs_gap=3, undo_buffer_entries=2)
+        harness.store(line(1))
+        harness.store(line(2))  # flushes (capacity 2)
+        harness.end_epoch()
+        harness.store(line(3))
+        harness.store(line(4))  # flushes again
+        tills = [e.valid_till for e in harness.scheme.log.iter_entries_backward()]
+        assert set(tills) == {0, 1}
+
+    def test_valid_till_nondecreasing_along_log(self):
+        # Recovery's early-stop depends on this invariant.
+        harness = make_harness(acs_gap=3, undo_buffer_entries=1)
+        for epoch in range(4):
+            for i in range(3):
+                harness.store(line(i))
+            harness.end_epoch()
+        tills = [
+            entry.valid_till
+            for block in harness.scheme.log._superblocks
+            for entry in block.entries
+        ]
+        assert tills == sorted(tills)
+
+
+class TestEvictionOrdering:
+    def test_write_back_flushes_matching_pending_undo(self):
+        harness = make_harness()
+        harness.store(line(1))
+        assert len(harness.scheme.buffer) == 1
+        harness.scheme.write_back(line(1), 99, now=harness.now)
+        # The undo entry became durable before the in-place write.
+        assert harness.scheme.log.entry_count == 1
+        assert harness.controller.read_token(line(1)) == 99
+
+    def test_write_back_of_unrelated_line_keeps_buffer(self):
+        harness = make_harness()
+        harness.store(line(1))
+        harness.scheme.write_back(line(900), 5, now=harness.now)
+        assert len(harness.scheme.buffer) == 1
+
+
+class TestBulkAcs:
+    def test_persist_all_now(self):
+        harness = make_harness(acs_gap=3)
+        tokens = [harness.store(line(i)) for i in range(3)]
+        harness.end_epoch()
+        harness.store(line(5))
+        harness.scheme.persist_all_now(harness.now)
+        assert harness.scheme.epochs.in_flight() == 0
+        for i, token in enumerate(tokens):
+            assert harness.controller.read_token(line(i)) == token
+        assert harness.scheme.log.entry_count == 0
+
+    def test_bulk_acs_counts(self):
+        harness = make_harness()
+        harness.store(line(1))
+        harness.scheme.persist_all_now(harness.now)
+        assert harness.stats.get("picl.bulk_acs") == 1
+
+
+class TestLogPressure:
+    def test_capped_log_forces_persist(self):
+        config = tiny_config(
+            picl=PiclConfig(acs_gap=3, log_max_bytes=72 * 64, undo_buffer_entries=4)
+        )
+        harness = SchemeHarness("picl", config=config)
+        for i in range(200):
+            harness.store(line(i))
+        assert harness.stats.get("picl.log_forced_persists") >= 1
+        assert harness.scheme.log.used_bytes <= 72 * 64
+
+    def test_uncapped_log_never_forces(self):
+        harness = make_harness()
+        for i in range(200):
+            harness.store(line(i))
+        assert harness.stats.get("picl.log_forced_persists") == 0
+
+
+class TestFig6Scenario:
+    """The paper's Fig 6 multi-undo walkthrough, as a concrete trace."""
+
+    def test_fig6(self):
+        harness = make_harness(acs_gap=1)
+        # Epoch 0 (paper Epoch1): w:A, w:B, w:C -> undo A0, B0, C0.
+        a0 = harness.store(line(10))
+        b0 = harness.store(line(11))
+        c0 = harness.store(line(12))
+        assert harness.stats.get("undo.entries_created") == 3
+        harness.end_epoch()  # commit1 (nothing persisted yet: gap 1)
+
+        # Epoch 1 (paper Epoch2): w:A2 -> undo A1.
+        a1 = harness.store(line(10))
+        assert harness.stats.get("undo.entries_created") == 4
+        harness.end_epoch()  # commit2; ACS persists epoch 0
+
+        # ACS for epoch 0 wrote B and C in place (EID 0) but not A (EID 1).
+        assert harness.controller.read_token(line(11)) == b0
+        assert harness.controller.read_token(line(12)) == c0
+        assert harness.controller.read_token(line(10)) == 0
+
+        # Epoch 2 (paper Epoch3): w:C3 -> undo C1 tagged <0, 2>.
+        harness.store(line(12))
+        entries = harness.scheme.buffer.pending_entries()
+        c_undo = [e for e in entries if e.addr == line(12)][0]
+        assert c_undo.valid_from == 0
+        assert c_undo.valid_till == 2
+        assert c_undo.token == c0
+
+        # Crash now: recovery target is epoch 0's commit.
+        image, commit_id, reference = harness.crash_and_recover()
+        assert commit_id == 0
+        assert reference == {line(10): a0, line(11): b0, line(12): c0}
+        assert images_equal(image, reference)
+        del a1

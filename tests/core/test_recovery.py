@@ -1,0 +1,136 @@
+"""Recovery algorithm: backward scan, oldest-wins, early stop."""
+
+import pytest
+
+from repro.common.errors import RecoveryError
+from repro.core.recovery import (
+    RecoveryReport,
+    check_recovered,
+    recover_image,
+    recovery_latency_cycles,
+)
+from repro.core.undo import UndoEntry
+from repro.mem.log_region import LogRegion
+from repro.mem.timing import NvmTimings
+
+
+def make_log(entries, per_block=2):
+    log = LogRegion(entry_bytes=72, superblock_bytes=72 * per_block)
+    log.append_many(entries)
+    return log
+
+
+class TestBasicRecovery:
+    def test_empty_log_returns_image(self):
+        image, report = recover_image({0: 5}, make_log([]), persisted_eid=0)
+        assert image == {0: 5}
+        assert report.entries_applied == 0
+
+    def test_matching_entry_applied(self):
+        log = make_log([UndoEntry(0, 7, 0, 1)])
+        image, report = recover_image({0: 99}, log, persisted_eid=0)
+        assert image[0] == 7
+        assert report.entries_applied == 1
+
+    def test_non_covering_entry_skipped(self):
+        log = make_log([UndoEntry(0, 7, 2, 3)])
+        image, _report = recover_image({0: 99}, log, persisted_eid=0)
+        assert image[0] == 99
+
+    def test_input_image_not_mutated(self):
+        nvm = {0: 99}
+        log = make_log([UndoEntry(0, 7, 0, 1)])
+        recover_image(nvm, log, persisted_eid=0)
+        assert nvm == {0: 99}
+
+    def test_initial_state_recovery(self):
+        # PersistedEID -1: revert everything to the initial image.
+        log = make_log([UndoEntry(0, 0, -1, 0)])
+        image, _report = recover_image({0: 55}, log, persisted_eid=-1)
+        assert image[0] == 0
+
+
+class TestOldestWins:
+    def test_multiple_entries_same_address(self):
+        # "there could be multiple undo entries for the same address ...
+        # but only the oldest one is valid."
+        log = make_log(
+            [
+                UndoEntry(0, 10, 0, 1),  # oldest: value during epoch 0
+                UndoEntry(0, 20, 0, 1),  # newer duplicate for the same range
+            ]
+        )
+        image, _report = recover_image({0: 99}, log, persisted_eid=0)
+        assert image[0] == 10
+
+    def test_disjoint_ranges_pick_covering_one(self):
+        log = make_log(
+            [
+                UndoEntry(0, 10, 0, 2),
+                UndoEntry(0, 20, 2, 5),
+            ]
+        )
+        image, _report = recover_image({0: 99}, log, persisted_eid=3)
+        assert image[0] == 20
+        image, _report = recover_image({0: 99}, log, persisted_eid=1)
+        assert image[0] == 10
+
+
+class TestEarlyStop:
+    def test_scan_stops_at_expired_superblock(self):
+        entries = [UndoEntry(i * 64, i, 0, 1) for i in range(4)]  # till=1
+        entries += [UndoEntry(i * 64, 100 + i, 4, 5) for i in range(4)]
+        log = make_log(entries, per_block=2)
+        _image, report = recover_image({}, log, persisted_eid=4)
+        assert report.stopped_early
+        # Only the two live superblocks were scanned.
+        assert report.superblocks_scanned == 2
+        assert report.entries_scanned == 4
+
+    def test_full_scan_when_everything_live(self):
+        entries = [UndoEntry(i * 64, i, 0, 5) for i in range(4)]
+        log = make_log(entries, per_block=2)
+        _image, report = recover_image({}, log, persisted_eid=0)
+        assert not report.stopped_early
+        assert report.entries_scanned == 4
+
+
+class TestCheckRecovered:
+    def test_matching_images_pass(self):
+        check_recovered({0: 1}, {0: 1})
+
+    def test_zero_tokens_equivalent(self):
+        check_recovered({0: 0}, {})
+        check_recovered({}, {64: 0})
+
+    def test_mismatch_raises(self):
+        with pytest.raises(RecoveryError, match="diverges"):
+            check_recovered({0: 1}, {0: 2})
+
+    def test_missing_line_raises(self):
+        with pytest.raises(RecoveryError):
+            check_recovered({}, {0: 2})
+
+
+class TestRecoveryLatency:
+    def test_scales_with_applied_entries(self):
+        timings = NvmTimings()
+        small = RecoveryReport(0)
+        small.entries_scanned = 10
+        small.entries_applied = 2
+        large = RecoveryReport(0)
+        large.entries_scanned = 10_000
+        large.entries_applied = 2_000
+        assert recovery_latency_cycles(large, timings) > recovery_latency_cycles(
+            small, timings
+        )
+
+    def test_empty_recovery_is_cheap(self):
+        report = RecoveryReport(0)
+        cycles = recovery_latency_cycles(report, NvmTimings())
+        # One row read for the marker check, nothing else.
+        assert cycles <= NvmTimings().bulk_read_cycles(1)
+
+    def test_report_repr(self):
+        report = RecoveryReport(3)
+        assert "target=3" in repr(report)

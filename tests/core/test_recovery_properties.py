@@ -1,0 +1,206 @@
+"""Property-based crash-recovery tests: the paper's core guarantee.
+
+For any sequence of stores, loads, and epoch boundaries, and a crash at
+any point, PiCL's recovery must reproduce exactly the architectural memory
+image at the last persisted commit. The same holds (with their own commit
+points) for FRM, Journaling, and Shadow-Paging.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from helpers import SchemeHarness, images_equal, line, tiny_config
+from repro.core.picl import PiclConfig
+
+# An operation is (kind, line_number): kind 0 = load, 1 = store, 2 = epoch
+# boundary (line number ignored).
+ops_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=30),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+relaxed = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def drive(harness, ops):
+    for kind, n in ops:
+        if kind == 0:
+            harness.load(line(n))
+        elif kind == 1:
+            harness.store(line(n))
+        else:
+            harness.end_epoch()
+
+
+def assert_recovers_exactly(harness):
+    image, commit_id, reference = harness.crash_and_recover()
+    assert reference is not None, "reference snapshot missing for commit %r" % (
+        commit_id,
+    )
+    assert images_equal(image, reference), (
+        "recovered image diverges from commit %r" % commit_id
+    )
+
+
+class TestPiclRecoveryProperty:
+    @given(ops=ops_strategy, acs_gap=st.integers(min_value=0, max_value=4))
+    @relaxed
+    def test_recovery_matches_persisted_commit(self, ops, acs_gap):
+        config = tiny_config(picl=PiclConfig(acs_gap=acs_gap))
+        harness = SchemeHarness("picl", config=config)
+        drive(harness, ops)
+        assert_recovers_exactly(harness)
+
+    @given(ops=ops_strategy)
+    @relaxed
+    def test_recovery_with_tiny_undo_buffer(self, ops):
+        # A 2-entry buffer flushes constantly, stressing the ordering.
+        config = tiny_config(
+            picl=PiclConfig(acs_gap=2, undo_buffer_entries=2)
+        )
+        harness = SchemeHarness("picl", config=config)
+        drive(harness, ops)
+        assert_recovers_exactly(harness)
+
+    @given(ops=ops_strategy)
+    @relaxed
+    def test_recovery_with_capped_log(self, ops):
+        config = tiny_config(
+            picl=PiclConfig(
+                acs_gap=2, undo_buffer_entries=2, log_max_bytes=72 * 32
+            )
+        )
+        harness = SchemeHarness("picl", config=config)
+        drive(harness, ops)
+        assert_recovers_exactly(harness)
+
+    @given(ops=ops_strategy)
+    @relaxed
+    def test_recovery_after_bulk_acs(self, ops):
+        harness = SchemeHarness("picl")
+        drive(harness, ops)
+        harness.scheme.persist_all_now(harness.now)
+        # After a bulk ACS the persisted state is the forced commit: a
+        # crash right now must recover it.
+        assert_recovers_exactly(harness)
+
+
+class TestBaselineRecoveryProperties:
+    @given(ops=ops_strategy)
+    @relaxed
+    def test_frm_recovers_last_commit(self, ops):
+        harness = SchemeHarness("frm")
+        drive(harness, ops)
+        assert_recovers_exactly(harness)
+
+    @given(ops=ops_strategy)
+    @relaxed
+    def test_journaling_recovers_last_commit(self, ops):
+        harness = SchemeHarness("journaling")
+        drive(harness, ops)
+        assert_recovers_exactly(harness)
+
+    @given(ops=ops_strategy)
+    @relaxed
+    def test_shadow_recovers_last_commit(self, ops):
+        harness = SchemeHarness("shadow")
+        drive(harness, ops)
+        assert_recovers_exactly(harness)
+
+    @given(ops=ops_strategy)
+    @relaxed
+    def test_thynvm_recovers_last_commit(self, ops):
+        harness = SchemeHarness("thynvm")
+        drive(harness, ops)
+        assert_recovers_exactly(harness)
+
+
+class TestSharedMemoryRecoveryProperty:
+    """Two cores, one address space: recovery must survive sharing."""
+
+    shared_ops = st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),  # load/store/epoch
+            st.integers(min_value=0, max_value=12),  # line
+            st.integers(min_value=0, max_value=1),  # core
+        ),
+        min_size=1,
+        max_size=80,
+    )
+
+    @given(ops=shared_ops)
+    @relaxed
+    def test_picl_recovery_with_two_cores(self, ops):
+        config = tiny_config(n_cores=2, picl=PiclConfig(acs_gap=2))
+        harness = SchemeHarness("picl", config=config)
+        for kind, n, core in ops:
+            if kind == 0:
+                harness.load(line(n), core=core)
+            elif kind == 1:
+                harness.store(line(n), core=core)
+            else:
+                harness.end_epoch()
+        assert_recovers_exactly(harness)
+
+    @given(ops=shared_ops)
+    @relaxed
+    def test_frm_recovery_with_two_cores(self, ops):
+        harness = SchemeHarness("frm", config=tiny_config(n_cores=2))
+        for kind, n, core in ops:
+            if kind == 0:
+                harness.load(line(n), core=core)
+            elif kind == 1:
+                harness.store(line(n), core=core)
+            else:
+                harness.end_epoch()
+        assert_recovers_exactly(harness)
+
+
+class TestLogInvariants:
+    @given(ops=ops_strategy)
+    @relaxed
+    def test_valid_till_nondecreasing(self, ops):
+        # The recovery early-stop is only sound if log order equals
+        # ValidTill order.
+        config = tiny_config(picl=PiclConfig(acs_gap=3, undo_buffer_entries=2))
+        harness = SchemeHarness("picl", config=config)
+        drive(harness, ops)
+        harness.scheme.buffer.flush(harness.now)
+        tills = [
+            e.valid_till for e in harness.scheme.log.iter_entries_backward()
+        ]
+        tills.reverse()
+        assert tills == sorted(tills)
+
+    @given(ops=ops_strategy)
+    @relaxed
+    def test_gc_reclaims_expired_head_blocks(self, ops):
+        # GC runs at every persist, so the head superblock can never be
+        # expired with respect to the PersistedEID at that time.
+        config = tiny_config(picl=PiclConfig(acs_gap=1, undo_buffer_entries=2))
+        harness = SchemeHarness("picl", config=config)
+        drive(harness, ops)
+        harness.scheme.log.collect_garbage(harness.scheme.epochs.persisted_eid)
+        blocks = harness.scheme.log._superblocks
+        if blocks:
+            assert not blocks[0].expired(harness.scheme.epochs.persisted_eid)
+
+    @given(ops=ops_strategy)
+    @relaxed
+    def test_recovery_is_idempotent(self, ops):
+        # Running the recovery procedure twice (a crash during recovery,
+        # then recovering again) must yield the same image.
+        harness = SchemeHarness("picl")
+        drive(harness, ops)
+        harness.system.crash()
+        first, _ = harness.scheme.recover()
+        second, _ = harness.scheme.recover()
+        assert first == second

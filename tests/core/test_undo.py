@@ -1,0 +1,99 @@
+"""Undo entry semantics: validity ranges."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.undo import ENTRY_BYTES, SUBBLOCK_ENTRY_BYTES, UndoEntry
+
+
+class TestConstruction:
+    def test_fields(self):
+        entry = UndoEntry(0x40, 7, 1, 3)
+        assert entry.addr == 0x40
+        assert entry.token == 7
+        assert entry.valid_from == 1
+        assert entry.valid_till == 3
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            UndoEntry(0, 1, 3, 3)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValueError):
+            UndoEntry(0, 1, 5, 2)
+
+    def test_initial_state_range_allowed(self):
+        # ValidFrom of -1 denotes "since the initial image".
+        entry = UndoEntry(0, 1, -1, 0)
+        assert entry.covers(-1)
+
+
+class TestCoverage:
+    def test_paper_example(self):
+        # "undo for C1 will be tagged <1, 3>, which means this entry should
+        # be used not only when reverting back to commit1, but also
+        # commit2 (but not commit3)."
+        entry = UndoEntry(0, 1, 1, 3)
+        assert entry.covers(1)
+        assert entry.covers(2)
+        assert not entry.covers(3)
+        assert not entry.covers(0)
+
+    def test_single_epoch_range(self):
+        entry = UndoEntry(0, 1, 4, 5)
+        assert entry.covers(4)
+        assert not entry.covers(5)
+
+    @given(
+        st.integers(min_value=-1, max_value=50),
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=-2, max_value=80),
+    )
+    def test_covers_matches_halfopen_interval(self, start, width, target):
+        entry = UndoEntry(0, 1, start, start + width)
+        assert entry.covers(target) == (start <= target < start + width)
+
+
+class TestExpiry:
+    def test_expired_once_persisted_reaches_till(self):
+        entry = UndoEntry(0, 1, 1, 3)
+        assert not entry.expired(2)
+        assert entry.expired(3)
+        assert entry.expired(10)
+
+    @given(
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=0, max_value=80),
+    )
+    def test_expired_entries_never_cover_future_targets(
+        self, start, width, persisted
+    ):
+        entry = UndoEntry(0, 1, start, start + width)
+        if entry.expired(persisted):
+            # Recovery only ever targets >= the persisted EID.
+            for target in range(persisted, persisted + 25):
+                assert not entry.covers(target)
+
+
+class TestEquality:
+    def test_equal_entries(self):
+        assert UndoEntry(0, 1, 2, 3) == UndoEntry(0, 1, 2, 3)
+
+    def test_unequal_entries(self):
+        assert UndoEntry(0, 1, 2, 3) != UndoEntry(0, 2, 2, 3)
+
+    def test_hashable(self):
+        assert len({UndoEntry(0, 1, 2, 3), UndoEntry(0, 1, 2, 3)}) == 1
+
+    def test_repr(self):
+        assert "valid=[2, 3)" in repr(UndoEntry(0, 1, 2, 3))
+
+
+class TestSizes:
+    def test_line_entry_holds_line_plus_metadata(self):
+        assert ENTRY_BYTES > 64
+
+    def test_subblock_entry_smaller(self):
+        assert SUBBLOCK_ENTRY_BYTES < ENTRY_BYTES
+        assert SUBBLOCK_ENTRY_BYTES > 16

@@ -1,0 +1,149 @@
+"""On-chip undo buffer: coalescing, hazard detection, flush semantics."""
+
+import pytest
+
+from repro.core.undo import UndoEntry
+from repro.core.undo_buffer import UndoBuffer
+from repro.mem.controller import MemoryController
+from repro.mem.log_region import LogRegion
+from repro.mem.timing import NvmTimings
+
+
+@pytest.fixture
+def setup():
+    controller = MemoryController(NvmTimings())
+    log = LogRegion(entry_bytes=72)
+    buffer = UndoBuffer(log, controller, capacity_entries=4, flush_bytes=2048)
+    return controller, log, buffer
+
+
+def entry(n, valid_from=0, valid_till=1):
+    return UndoEntry(n * 64, n + 100, valid_from, valid_till)
+
+
+class TestFilling:
+    def test_entries_accumulate(self, setup):
+        _c, log, buffer = setup
+        buffer.add(entry(0), now=0)
+        buffer.add(entry(1), now=0)
+        assert len(buffer) == 2
+        assert len(log) == 0  # nothing durable yet
+
+    def test_flush_on_capacity(self, setup):
+        _c, log, buffer = setup
+        for i in range(4):
+            buffer.add(entry(i), now=0)
+        assert len(buffer) == 0
+        assert len(log) == 4
+
+    def test_oldest_valid_till(self, setup):
+        _c, _log, buffer = setup
+        assert buffer.oldest_valid_till is None
+        buffer.add(entry(0, valid_till=3), now=0)
+        buffer.add(entry(1, valid_till=5), now=0)
+        assert buffer.oldest_valid_till == 3
+
+    def test_creation_stat(self, setup):
+        _c, _log, buffer = setup
+        buffer.add(entry(0), now=0)
+        assert buffer.stats.get("undo.entries_created") == 1
+
+
+class TestFlush:
+    def test_flush_preserves_order(self, setup):
+        _c, log, buffer = setup
+        entries = [entry(i) for i in range(3)]
+        for e in entries:
+            buffer.add(e, now=0)
+        buffer.flush(now=0)
+        assert list(log.iter_entries_backward()) == list(reversed(entries))
+
+    def test_flush_is_one_sequential_iop(self, setup):
+        controller, _log, buffer = setup
+        for i in range(3):
+            buffer.add(entry(i), now=0)
+        buffer.flush(now=0)
+        assert controller.stats.get("nvm.iops.sequential") == 1
+
+    def test_empty_flush_is_free(self, setup):
+        controller, _log, buffer = setup
+        assert buffer.flush(now=0) == 0
+        assert controller.stats.get("nvm.iops.sequential") == 0
+
+    def test_flush_clears_bloom(self, setup):
+        _c, _log, buffer = setup
+        buffer.add(entry(0), now=0)
+        buffer.flush(now=0)
+        assert not buffer.bloom.might_contain(entry(0).addr)
+
+    def test_flush_burst_sized_to_contents(self, setup):
+        controller, _log, buffer = setup
+        buffer.add(entry(0), now=0)
+        buffer.flush(now=0)
+        assert controller.stats.get("nvm.bytes_written") == 72
+
+    def test_flush_burst_capped_at_row(self):
+        controller = MemoryController(NvmTimings())
+        log = LogRegion(entry_bytes=72)
+        buffer = UndoBuffer(log, controller, capacity_entries=64, flush_bytes=2048)
+        for i in range(40):
+            buffer.add(entry(i), now=0)
+        # Auto-flush never happened (capacity 64); flush manually.
+        buffer.flush(now=0)
+        assert controller.stats.get("nvm.bytes_written") == 2048
+
+
+class TestEvictionHazard:
+    def test_matching_eviction_forces_flush(self, setup):
+        _c, log, buffer = setup
+        buffer.add(entry(0), now=0)
+        buffer.eviction_hazard(entry(0).addr, now=0)
+        assert len(buffer) == 0
+        assert len(log) == 1
+        assert buffer.stats.get("undo.forced_flushes") == 1
+
+    def test_non_matching_eviction_is_free(self, setup):
+        _c, log, buffer = setup
+        buffer.add(entry(0), now=0)
+        buffer.eviction_hazard(0x999940, now=0)
+        # Might false-positive, but with 4096 bits and one entry it won't.
+        assert len(buffer) == 1
+        assert len(log) == 0
+
+    def test_empty_buffer_never_flushes(self, setup):
+        _c, _log, buffer = setup
+        assert buffer.eviction_hazard(0x40, now=0) == 0
+
+    def test_false_positive_accounting(self):
+        controller = MemoryController(NvmTimings())
+        log = LogRegion(entry_bytes=72)
+        # A 64-bit filter collides readily.
+        buffer = UndoBuffer(
+            log, controller, capacity_entries=64, bloom_bits=64, bloom_hashes=1
+        )
+        for i in range(32):
+            buffer.add(entry(i), now=0)
+        for probe in range(1000, 1400):
+            buffer.eviction_hazard(probe * 64, now=0)
+            if buffer.stats.get("undo.bloom_false_positives"):
+                break
+        assert buffer.stats.get("undo.bloom_false_positives") >= 1
+
+    def test_ordering_invariant_undo_durable_before_eviction(self, setup):
+        """The hazard check is what guarantees undo-before-in-place."""
+        _c, log, buffer = setup
+        e = entry(5)
+        buffer.add(e, now=0)
+        # The eviction path must call eviction_hazard first; after it the
+        # entry is durable.
+        buffer.eviction_hazard(e.addr, now=0)
+        assert e in list(log.iter_entries_backward())
+
+
+class TestPendingSnapshot:
+    def test_pending_entries_returns_copy(self, setup):
+        _c, _log, buffer = setup
+        buffer.add(entry(0), now=0)
+        pending = buffer.pending_entries()
+        pending.clear()
+        assert len(buffer) == 1

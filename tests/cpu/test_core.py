@@ -1,0 +1,38 @@
+"""Core timing accounting."""
+
+from repro.cpu.core import CoreState
+
+
+class TestAccounting:
+    def test_compute_advances_cycle_and_instructions(self):
+        core = CoreState(0)
+        core.advance_compute(100)
+        assert core.cycle == 100
+        assert core.instructions == 100
+
+    def test_memory_counts_one_instruction(self):
+        core = CoreState(0)
+        core.advance_memory(50)
+        assert core.cycle == 50
+        assert core.instructions == 1
+        assert core.mem_stall_cycles == 50
+
+    def test_commit_stall_does_not_retire(self):
+        core = CoreState(0)
+        core.stall_commit(1000)
+        assert core.cycle == 1000
+        assert core.instructions == 0
+        assert core.commit_stall_cycles == 1000
+
+    def test_mixed_sequence(self):
+        core = CoreState(3)
+        core.advance_compute(10)
+        core.advance_memory(5)
+        core.stall_commit(7)
+        assert core.cycle == 22
+        assert core.instructions == 11
+        assert core.core_id == 3
+
+    def test_repr(self):
+        core = CoreState(1)
+        assert "core=1" in repr(core)

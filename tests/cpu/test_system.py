@@ -1,0 +1,103 @@
+"""System container: tokens, commits, snapshots, stalls."""
+
+import pytest
+
+from helpers import SchemeHarness, tiny_config
+from repro.cpu.core import CoreState
+from repro.cpu.system import System
+
+
+def bare_system(n_cores=1, track_reference=True, reference_depth=4):
+    harness = SchemeHarness("ideal", config=tiny_config(n_cores=n_cores))
+    system = harness.system
+    system.track_reference = track_reference
+    system._reference_depth = reference_depth
+    return system
+
+
+class TestTokens:
+    def test_tokens_are_unique_and_increasing(self):
+        system = bare_system()
+        tokens = [system.new_token() for _ in range(10)]
+        assert tokens == sorted(tokens)
+        assert len(set(tokens)) == 10
+
+    def test_tokens_start_nonzero(self):
+        # Token 0 means "initial contents"; stores must never produce it.
+        assert bare_system().new_token() != 0
+
+
+class TestArchImage:
+    def test_note_store_tracks(self):
+        system = bare_system()
+        system.note_store(0x40, 5)
+        assert system.arch_image[0x40] == 5
+
+    def test_note_store_ignored_without_tracking(self):
+        system = bare_system(track_reference=False)
+        system.note_store(0x40, 5)
+        assert system.arch_image == {}
+
+
+class TestCommitSnapshots:
+    def test_snapshot_taken_at_commit(self):
+        system = bare_system()
+        system.note_store(0x40, 5)
+        system.record_commit(0)
+        system.note_store(0x40, 6)
+        assert system.commit_snapshot(0) == {0x40: 5}
+
+    def test_commit_counter_and_stat(self):
+        system = bare_system()
+        system.record_commit(0)
+        system.record_commit(1)
+        assert system.commit_count == 2
+        assert system.stats.get("commits") == 2
+
+    def test_snapshot_window_is_bounded(self):
+        system = bare_system(reference_depth=2)
+        for commit in range(5):
+            system.record_commit(commit)
+        assert system.commit_snapshot(0) is None
+        assert system.commit_snapshot(4) is not None
+
+    def test_unknown_commit_returns_none(self):
+        assert bare_system().commit_snapshot(99) is None
+
+
+class TestStalls:
+    def test_broadcast_hits_every_core(self):
+        system = bare_system(n_cores=1)
+        system.broadcast_stall(100)
+        assert all(core.commit_stall_cycles == 100 for core in system.cores)
+        assert system.stats.get("stall.stop_the_world_cycles") == 100
+
+    def test_zero_stall_is_free(self):
+        system = bare_system()
+        system.broadcast_stall(0)
+        assert system.stats.get("stall.stop_the_world_cycles") == 0
+
+    def test_handler_stall_from_config(self):
+        system = bare_system()
+        assert system.handler_stall() == system.epoch_handler_cycles
+
+
+class TestClocks:
+    def test_max_min_cycle(self):
+        controller = bare_system().controller
+        cores = [CoreState(0), CoreState(1)]
+        cores[0].advance_compute(10)
+        cores[1].advance_compute(30)
+        system = System(controller, None, cores)
+        assert system.max_cycle() == 30
+        assert system.min_cycle() == 10
+        assert system.n_cores == 2
+
+
+class TestCrash:
+    def test_crash_wipes_caches(self):
+        harness = SchemeHarness("ideal")
+        harness.store(0x40)
+        assert len(harness.hierarchy.llc) > 0
+        harness.system.crash()
+        assert len(harness.hierarchy.llc) == 0

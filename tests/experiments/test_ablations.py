@@ -1,0 +1,64 @@
+"""Ablation sweeps run end-to-end at a micro preset."""
+
+import pytest
+
+from repro.experiments import ablations
+from repro.experiments.presets import Preset
+
+MICRO = Preset("micro", scale=1024, epochs_per_run=2)
+ONE_BENCH = ("gcc",)
+
+
+class TestAcsGapSweep:
+    def test_structure(self):
+        sweep = ablations.sweep_acs_gap(MICRO, gaps=(0, 2), benchmarks=ONE_BENCH)
+        assert set(sweep) == {0, 2}
+        row = sweep[0]["gcc"]
+        assert set(row) == {"overhead", "acs_writebacks", "persist_lag_epochs"}
+
+    def test_persist_lag_recorded(self):
+        sweep = ablations.sweep_acs_gap(MICRO, gaps=(2,), benchmarks=ONE_BENCH)
+        assert sweep[2]["gcc"]["persist_lag_epochs"] == 2
+
+
+class TestUndoBufferSweep:
+    def test_small_buffer_flushes_more(self):
+        sweep = ablations.sweep_undo_buffer(
+            MICRO, entry_counts=(2, 64), benchmarks=ONE_BENCH
+        )
+        assert (
+            sweep[2]["gcc"]["buffer_flushes"] > sweep[64]["gcc"]["buffer_flushes"]
+        )
+
+
+class TestBloomSweep:
+    def test_structure(self):
+        sweep = ablations.sweep_bloom_bits(
+            MICRO, bit_sizes=(64, 4096), benchmarks=ONE_BENCH
+        )
+        for bits in (64, 4096):
+            row = sweep[bits]["gcc"]
+            assert row["forced_flushes"] >= 0
+            assert row["false_positives"] >= 0
+
+
+class TestGranularitySweep:
+    def test_subblock_entries_at_least_line_entries(self):
+        sweep = ablations.sweep_granularity(MICRO, benchmarks=ONE_BENCH)
+        assert sweep[16]["gcc"]["entries"] >= sweep[64]["gcc"]["entries"]
+
+
+class TestEpochLengthSweep:
+    def test_longer_epochs_log_no_more(self):
+        sweep = ablations.sweep_epoch_length(
+            MICRO, multipliers=(0.5, 4), benchmarks=ONE_BENCH
+        )
+        assert sweep[4]["gcc"]["log_bytes"] <= sweep[0.5]["gcc"]["log_bytes"]
+
+
+class TestFormatting:
+    def test_format_sweep(self):
+        sweep = ablations.sweep_acs_gap(MICRO, gaps=(0,), benchmarks=ONE_BENCH)
+        text = ablations.format_sweep(sweep, "overhead", "gap", "x")
+        assert "gcc" in text
+        assert "0" in text

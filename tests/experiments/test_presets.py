@@ -1,0 +1,54 @@
+"""Experiment presets."""
+
+import pytest
+
+from repro.experiments.presets import PRESETS, Preset, get_preset
+
+
+class TestGetPreset:
+    def test_default_is_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PRESET", raising=False)
+        assert get_preset().name == "quick"
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PRESET", "full")
+        assert get_preset().name == "full"
+
+    def test_explicit_name_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PRESET", "full")
+        assert get_preset("quick").name == "quick"
+
+    def test_preset_instance_passthrough(self):
+        preset = PRESETS["quick"]
+        assert get_preset(preset) is preset
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_preset("gigantic")
+
+
+class TestPreset:
+    def test_config_carries_scale(self):
+        preset = Preset("t", scale=64, epochs_per_run=4)
+        assert preset.config().scale == 64
+
+    def test_instruction_budget(self):
+        preset = Preset("t", scale=64, epochs_per_run=4)
+        config = preset.config()
+        assert preset.instructions(config) == config.epoch_instructions * 4
+
+    def test_instruction_budget_multicore(self):
+        preset = Preset("t", scale=64, epochs_per_run=2)
+        config = preset.config(n_cores=8)
+        assert preset.instructions(config) == config.epoch_instructions * 2 * 8
+
+    def test_epochs_override(self):
+        preset = Preset("t", scale=64, epochs_per_run=4)
+        config = preset.config()
+        assert preset.instructions(config, epochs=1) == config.epoch_instructions
+
+    def test_full_is_larger_than_quick(self):
+        quick = PRESETS["quick"]
+        full = PRESETS["full"]
+        assert full.scale < quick.scale
+        assert full.epochs_per_run > quick.epochs_per_run

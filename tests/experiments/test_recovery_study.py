@@ -1,0 +1,31 @@
+"""Recovery-latency/availability study at a micro preset."""
+
+from repro.experiments import recovery_study
+from repro.experiments.presets import Preset
+
+MICRO = Preset("micro", scale=1024, epochs_per_run=2)
+
+
+class TestMeasure:
+    def test_structure(self):
+        results = recovery_study.measure(MICRO, benchmark="gcc", gaps=(0, 2))
+        assert set(results) == {0, 2}
+        row = results[0]
+        assert {
+            "overhead",
+            "recovery_entries",
+            "recovery_cycles",
+            "recovery_s_paper_scale",
+            "availability",
+            "effective_throughput",
+        } <= set(row)
+
+    def test_availability_in_range(self):
+        results = recovery_study.measure(MICRO, benchmark="gcc", gaps=(1,))
+        assert 0.9 < results[1]["availability"] <= 1.0
+
+    def test_format(self):
+        results = recovery_study.measure(MICRO, benchmark="gcc", gaps=(1,))
+        text = recovery_study.format_result(results)
+        assert "gap=1" in text
+        assert "avail" in text

@@ -1,0 +1,50 @@
+"""Report helpers: means and table formatting."""
+
+import pytest
+
+from repro.experiments.report import amean, format_table, geomean
+
+
+class TestMeans:
+    def test_geomean_basic(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+
+    def test_geomean_identity(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_geomean_ignores_nonpositive(self):
+        assert geomean([0, 2, 8]) == pytest.approx(4.0)
+
+    def test_geomean_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_amean(self):
+        assert amean([1, 2, 3]) == 2.0
+
+    def test_amean_empty(self):
+        assert amean([]) == 0.0
+
+    def test_geomean_le_amean(self):
+        values = [1.1, 2.5, 9.0, 1.0]
+        assert geomean(values) <= amean(values)
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        text = format_table(["name", "a"], [["x", 1.5]])
+        assert "name" in text
+        assert "x" in text
+        assert "1.500" in text
+
+    def test_large_values_fewer_decimals(self):
+        text = format_table(["name", "a"], [["x", 123.456]])
+        assert "123.5" in text
+
+    def test_alignment_consistent(self):
+        text = format_table(["n", "a", "b"], [["x", 1.0, 2.0], ["yy", 3.0, 4.0]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines[2:]}) == 1
+
+    def test_string_cells(self):
+        text = format_table(["n", "v"], [["row", "n/a"]])
+        assert "n/a" in text

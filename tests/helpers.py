@@ -1,0 +1,56 @@
+"""Shared test utilities.
+
+``SchemeHarness`` is the public :class:`repro.sim.interactive.InteractiveSystem`
+preconfigured with a deliberately tiny system — fast to drive, easy to
+overflow — which lets unit tests express scenarios like the paper's Fig 6
+multi-undo example directly: store these lines, commit, store again,
+crash, recover, compare.
+"""
+
+from repro.sim.config import SystemConfig
+from repro.sim.interactive import InteractiveSystem
+
+
+def tiny_config(**overrides):
+    """A deliberately small system: fast to drive, easy to overflow."""
+    defaults = dict(
+        n_cores=1,
+        l1_size=512,
+        l1_assoc=2,
+        l2_size=2048,
+        l2_assoc=4,
+        llc_size_per_core=8192,
+        llc_assoc=4,
+        epoch_instructions=10_000,
+        journal_table_entries=64,
+        shadow_table_entries=64,
+        thynvm_block_entries=32,
+        thynvm_page_entries=32,
+        table_assoc=16,
+        track_reference=True,
+        reference_depth=64,
+    )
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+class SchemeHarness(InteractiveSystem):
+    """InteractiveSystem defaulting to the tiny test configuration."""
+
+    def __init__(self, scheme_name="picl", config=None, **config_overrides):
+        if config is None:
+            config = tiny_config(**config_overrides)
+        super().__init__(scheme_name, config)
+
+
+def images_equal(image_a, image_b):
+    """Token-exact comparison treating absent lines as token 0."""
+    for addr in set(image_a) | set(image_b):
+        if image_a.get(addr, 0) != image_b.get(addr, 0):
+            return False
+    return True
+
+
+def line(n):
+    """The address of the n-th cache line (64 B lines)."""
+    return n * 64

@@ -1,0 +1,86 @@
+"""Background (no-backpressure) traffic semantics.
+
+Regression pins for the timing-model bug where repeated posted writes at
+a frozen clock turned the backpressure accounting quadratic: autonomous
+engines (ACS, ThyNVM's apply) enqueue without stalling, and synchronous
+loops must advance their clock by the accumulated stall.
+"""
+
+import pytest
+
+from repro.mem.nvm import AccessCategory, NvmDevice
+from repro.mem.timing import NvmTimings
+
+
+@pytest.fixture
+def device():
+    return NvmDevice(NvmTimings())
+
+
+class TestEnqueueWrite:
+    def test_no_stall_ever(self, device):
+        for i in range(500):
+            _finish, stall = device.write_line(i * 64, now=0, backpressure=False)
+            assert stall == 0
+
+    def test_load_still_accumulates(self, device):
+        for i in range(100):
+            device.write_line(i * 64, now=0, backpressure=False)
+        assert device.drain_cycles(0) >= 100 * device.timings.row_write_cycles
+
+    def test_bulk_write_no_backpressure(self, device):
+        for _ in range(50):
+            _finish, stall = device.bulk_write(2048, now=0, backpressure=False)
+            assert stall == 0
+
+    def test_log_read_no_backpressure(self, device):
+        for i in range(100):
+            _finish, stall = device.log_read_line(i * 64, now=0, backpressure=False)
+            assert stall == 0
+
+    def test_background_load_slows_demand_reads_boundedly(self, device):
+        for i in range(100):
+            device.write_line(i * 64, now=0, backpressure=False)
+        finish = device.read_line(0, now=0)
+        # Interference capped at one in-progress row write.
+        assert finish <= (
+            device.timings.row_write_cycles + device.timings.line_read_cycles()
+        )
+
+
+class TestAdvancingClockStaysLinear:
+    def test_posted_writes_with_advancing_clock(self, device):
+        """Total stall of n writes issued at the stalled clock is ~n * occupancy."""
+        occupancy = device.timings.line_write_cycles()
+        total_stall = 0
+        n = 200
+        for i in range(n):
+            _finish, stall = device.write_line(i * 64, now=total_stall)
+            total_stall += stall
+        # Linear: total is bounded by the full service time of n writes.
+        assert total_stall <= n * occupancy
+        # And not wildly below it either (the queue limit absorbs a prefix).
+        assert total_stall >= (n - 10) * occupancy - device.timings.write_queue_limit_cycles
+
+    def test_frozen_clock_is_what_backpressure_false_is_for(self, device):
+        """With a frozen clock and backpressure on, stalls overcount —
+        the documented reason background engines must use enqueue."""
+        occupancy = device.timings.line_write_cycles()
+        frozen_stall = 0
+        n = 200
+        for i in range(n):
+            _finish, stall = device.write_line(i * 64, now=0)
+            frozen_stall += stall
+        advancing_stall = 0
+        fresh = NvmDevice(NvmTimings())
+        for i in range(n):
+            _finish, stall = fresh.write_line(i * 64, now=advancing_stall)
+            advancing_stall += stall
+        assert frozen_stall >= advancing_stall
+        del occupancy
+
+
+class TestCategoriesUnaffected:
+    def test_enqueue_still_counts_iops(self, device):
+        device.write_line(0, now=0, backpressure=False, category=AccessCategory.RANDOM)
+        assert device.stats.get("nvm.iops.random") == 1

@@ -1,0 +1,135 @@
+"""Open-page banked NVM device (the opt-in fidelity extension)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.mem.banked import ROW_HIT_FRACTION, BankedNvmDevice, make_device
+from repro.mem.controller import MemoryController
+from repro.mem.nvm import NvmDevice
+from repro.mem.timing import NvmTimings
+
+
+def banked(**kwargs):
+    return BankedNvmDevice(NvmTimings(**kwargs))
+
+
+class TestFactory:
+    def test_closed_policy_builds_base_device(self):
+        device = make_device(NvmTimings(page_policy="closed"))
+        assert type(device) is NvmDevice
+
+    def test_open_policy_builds_banked_device(self):
+        device = make_device(NvmTimings(page_policy="open"))
+        assert isinstance(device, BankedNvmDevice)
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NvmTimings(page_policy="adaptive")
+
+    def test_bad_banks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NvmTimings(n_banks=6)
+
+    def test_controller_respects_policy(self):
+        controller = MemoryController(NvmTimings(page_policy="open"))
+        assert isinstance(controller.device, BankedNvmDevice)
+
+
+class TestRowBuffer:
+    def test_first_access_misses(self):
+        device = banked(page_policy="open")
+        device.read_line(0, now=0)
+        assert device.stats.get("nvm.row_misses") == 1
+        assert device.stats.get("nvm.row_hits") == 0
+
+    def test_same_row_hits(self):
+        device = banked(page_policy="open")
+        device.read_line(0, now=0)
+        device.read_line(64, now=10_000)  # same 2 KB row
+        assert device.stats.get("nvm.row_hits") == 1
+
+    def test_row_hit_is_cheaper(self):
+        device = banked(page_policy="open")
+        first = device.read_line(0, now=0)
+        second = device.read_line(64, now=1_000_000) - 1_000_000
+        assert second < first * (ROW_HIT_FRACTION + 0.3)
+
+    def test_conflicting_row_closes_the_old_one(self):
+        device = banked(page_policy="open", n_banks=2)
+        row_bytes = device.timings.row_buffer_bytes
+        device.read_line(0, now=0)                      # bank 0, row 0
+        device.read_line(2 * row_bytes, now=10_000)     # bank 0, row 2
+        device.read_line(0, now=20_000)                 # row 0 again: miss
+        assert device.stats.get("nvm.row_misses") == 3
+
+    def test_banks_track_rows_independently(self):
+        device = banked(page_policy="open", n_banks=8)
+        row_bytes = device.timings.row_buffer_bytes
+        for bank in range(8):
+            device.read_line(bank * row_bytes, now=0)
+        for bank in range(8):
+            device.read_line(bank * row_bytes + 64, now=100_000)
+        assert device.stats.get("nvm.row_hits") == 8
+
+    def test_writes_track_rows_too(self):
+        device = banked(page_policy="open")
+        device.write_line(0, now=0)
+        device.write_line(64, now=0)
+        assert device.stats.get("nvm.row_hits") == 1
+
+    def test_row_hit_rate(self):
+        device = banked(page_policy="open")
+        assert device.row_hit_rate() == 0.0
+        device.read_line(0, now=0)
+        device.read_line(64, now=0)
+        assert device.row_hit_rate() == pytest.approx(0.5)
+
+
+class TestEndToEnd:
+    def test_sequential_stream_mostly_hits(self):
+        from repro.sim.config import SystemConfig
+        from repro.sim.simulator import Simulation
+
+        config = SystemConfig().scaled(256, nvm=NvmTimings(page_policy="open"))
+        sim = Simulation(config, "ideal", ["lbm"], 40_000, seed=2)
+        sim.run()
+        device = sim.controller.device
+        assert device.row_hit_rate() > 0.1
+
+    def test_open_page_helps_but_preserves_ordering(self):
+        from repro.sim.config import SystemConfig
+        from repro.sim.simulator import Simulation
+
+        results = {}
+        for policy in ("closed", "open"):
+            config = SystemConfig().scaled(
+                256, nvm=NvmTimings(page_policy=policy)
+            )
+            ideal = Simulation(config, "ideal", ["gcc"], 60_000, seed=4).run()
+            picl = Simulation(config, "picl", ["gcc"], 60_000, seed=4).run()
+            frm = Simulation(config, "frm", ["gcc"], 60_000, seed=4).run()
+            results[policy] = {
+                "ideal": ideal.cycles,
+                "picl": picl.normalized_to(ideal),
+                "frm": frm.normalized_to(ideal),
+            }
+        # Open-page never hurts the baseline...
+        assert results["open"]["ideal"] <= results["closed"]["ideal"]
+        # ...and PiCL's near-zero overhead is policy-independent. (FRM can
+        # even beat Ideal on micro-runs — its flushes pre-clean the cache —
+        # so cross-scheme ordering is only asserted at benchmark scale.)
+        for policy in ("closed", "open"):
+            assert results[policy]["picl"] <= 1.1
+
+    def test_picl_recovery_unaffected_by_policy(self):
+        from helpers import SchemeHarness, images_equal, line, tiny_config
+
+        config = tiny_config(nvm=NvmTimings(page_policy="open"))
+        harness = SchemeHarness("picl", config=config)
+        for i in range(20):
+            harness.store(line(i % 7))
+            if i % 5 == 4:
+                harness.end_epoch()
+        image, _commit, reference = harness.crash_and_recover()
+        assert reference is not None
+        assert images_equal(image, reference)

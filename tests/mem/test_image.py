@@ -1,0 +1,97 @@
+"""Functional memory image semantics."""
+
+from hypothesis import given, strategies as st
+
+from repro.mem.image import INITIAL_TOKEN, MemoryImage
+
+
+class TestReadWrite:
+    def test_unwritten_reads_initial(self):
+        image = MemoryImage()
+        assert image.read(0x1000) == INITIAL_TOKEN
+
+    def test_write_then_read(self):
+        image = MemoryImage()
+        image.write(0x40, 7)
+        assert image.read(0x40) == 7
+
+    def test_overwrite(self):
+        image = MemoryImage()
+        image.write(0x40, 7)
+        image.write(0x40, 9)
+        assert image.read(0x40) == 9
+
+    def test_len_counts_written_lines(self):
+        image = MemoryImage()
+        image.write(0, 1)
+        image.write(64, 2)
+        image.write(0, 3)
+        assert len(image) == 2
+
+    def test_written_lines(self):
+        image = MemoryImage()
+        image.write(0, 1)
+        image.write(128, 2)
+        assert sorted(image.written_lines()) == [0, 128]
+
+
+class TestSnapshotRestore:
+    def test_snapshot_isolated_from_future_writes(self):
+        image = MemoryImage()
+        image.write(0, 1)
+        snap = image.snapshot()
+        image.write(0, 2)
+        assert snap[0] == 1
+
+    def test_restore(self):
+        image = MemoryImage()
+        image.write(0, 1)
+        snap = image.snapshot()
+        image.write(0, 2)
+        image.write(64, 3)
+        image.restore(snap)
+        assert image.read(0) == 1
+        assert image.read(64) == INITIAL_TOKEN
+
+
+class TestComparison:
+    def test_equal_snapshots(self):
+        image = MemoryImage()
+        image.write(0, 1)
+        assert image.equals_snapshot({0: 1})
+
+    def test_zero_tokens_equivalent_to_absent(self):
+        image = MemoryImage()
+        image.write(0, INITIAL_TOKEN)
+        assert image.equals_snapshot({})
+        assert image.equals_snapshot({64: INITIAL_TOKEN})
+
+    def test_mismatch_detected(self):
+        image = MemoryImage()
+        image.write(0, 1)
+        assert not image.equals_snapshot({0: 2})
+
+    def test_missing_line_detected(self):
+        image = MemoryImage()
+        assert not image.equals_snapshot({0: 5})
+
+    def test_differences(self):
+        image = MemoryImage()
+        image.write(0, 1)
+        image.write(64, 2)
+        diffs = image.differences({0: 1, 64: 9, 128: 3})
+        assert diffs == {64: (2, 9), 128: (0, 3)}
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=63).map(lambda n: n * 64),
+            st.integers(min_value=1, max_value=100),
+            max_size=20,
+        )
+    )
+    def test_snapshot_always_equals_itself(self, contents):
+        image = MemoryImage()
+        for addr, token in contents.items():
+            image.write(addr, token)
+        assert image.equals_snapshot(image.snapshot())
+        assert image.differences(image.snapshot()) == {}

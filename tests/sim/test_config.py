@@ -1,0 +1,102 @@
+"""System configuration and coherent scaling."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import KB, MB
+from repro.sim.config import SystemConfig
+from repro.trace.profiles import get_profile
+
+
+class TestTableIvDefaults:
+    def test_cache_sizes(self):
+        config = SystemConfig()
+        assert config.l1_size == 32 * KB
+        assert config.l2_size == 256 * KB
+        assert config.llc_size_per_core == 2 * MB
+
+    def test_epoch_length(self):
+        assert SystemConfig().epoch_instructions == 30_000_000
+
+    def test_nvm_latencies(self):
+        config = SystemConfig()
+        assert config.nvm.row_read_ns == 128.0
+        assert config.nvm.row_write_ns == 368.0
+
+    def test_translation_tables(self):
+        config = SystemConfig()
+        assert config.journal_table_entries == 6144
+        assert config.shadow_table_entries == 6144
+        assert config.thynvm_block_entries == 2048
+        assert config.thynvm_page_entries == 4096
+        assert config.table_assoc == 16
+
+    def test_picl_defaults(self):
+        picl = SystemConfig().picl
+        assert picl.acs_gap == 3
+        assert picl.undo_buffer_entries == 32
+        assert picl.undo_flush_bytes == 2 * KB
+        assert picl.bloom_bits == 4096
+
+
+class TestValidation:
+    def test_bad_cores(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(n_cores=0)
+
+    def test_bad_epoch(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(epoch_instructions=0)
+
+    def test_scale_must_be_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig().scaled(3)
+
+
+class TestScaling:
+    def test_everything_shrinks_together(self):
+        config = SystemConfig().scaled(64)
+        assert config.llc_size_per_core == 2 * MB // 64
+        assert config.epoch_instructions == 30_000_000 // 64
+        assert config.journal_table_entries == 6144 // 64
+
+    def test_scale_recorded(self):
+        assert SystemConfig().scaled(64).scale == 64
+
+    def test_scaling_composes(self):
+        config = SystemConfig().scaled(8).scaled(8)
+        assert config.scale == 64
+
+    def test_private_cache_floors(self):
+        config = SystemConfig().scaled(1024)
+        assert config.l1_size >= 4 * KB
+        assert config.l2_size >= 16 * KB
+        assert config.llc_size_per_core >= 32 * KB
+
+    def test_table_floor(self):
+        config = SystemConfig().scaled(1024)
+        assert config.journal_table_entries >= 4 * config.table_assoc
+
+    def test_overrides_win(self):
+        config = SystemConfig().scaled(64, n_cores=8)
+        assert config.n_cores == 8
+
+    def test_scale_profile(self):
+        config = SystemConfig().scaled(64)
+        profile = get_profile("gcc")
+        scaled = config.scale_profile(profile)
+        assert scaled.working_set_bytes == profile.working_set_bytes // 64
+
+    def test_scale_one_profile_passthrough(self):
+        config = SystemConfig()
+        profile = get_profile("gcc")
+        assert config.scale_profile(profile) is profile
+
+    def test_capacity_ratios_preserved(self):
+        base = SystemConfig()
+        scaled = base.scaled(64)
+        base_ratio = base.journal_table_entries / (base.llc_size_per_core // 64)
+        scaled_ratio = scaled.journal_table_entries / (
+            scaled.llc_size_per_core // 64
+        )
+        assert scaled_ratio == pytest.approx(base_ratio)

@@ -1,0 +1,82 @@
+"""InteractiveSystem: the single-stepping public API."""
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.sim.interactive import InteractiveSystem
+from repro.sim.simulator import SCHEME_NAMES
+
+
+class TestBasics:
+    def test_default_config_is_scaled(self):
+        system = InteractiveSystem("ideal")
+        assert system.config.scale == 256
+
+    def test_store_returns_token(self):
+        system = InteractiveSystem("ideal")
+        token = system.store(0x40)
+        assert token > 0
+
+    def test_load_sees_stored_value(self):
+        system = InteractiveSystem("ideal")
+        token = system.store(0x40)
+        assert system.load(0x40) == token
+
+    def test_time_advances(self):
+        system = InteractiveSystem("ideal")
+        before = system.now
+        system.store(0x40)
+        assert system.now > before
+
+    def test_advance(self):
+        system = InteractiveSystem("ideal")
+        system.advance(100)
+        assert system.now == 100
+
+    def test_arch_state_tracks_stores(self):
+        system = InteractiveSystem("ideal")
+        token = system.store(0x40)
+        assert system.arch_state() == {0x40: token}
+
+
+class TestEpochs:
+    def test_end_epoch_commits(self):
+        system = InteractiveSystem("picl")
+        system.store(0x40)
+        system.end_epoch()
+        assert system.system.commit_count == 1
+
+    def test_end_epoch_advances_time_by_stall(self):
+        system = InteractiveSystem("frm")
+        system.store(0x40)
+        before = system.now
+        stall = system.end_epoch()
+        assert system.now == before + stall
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize(
+        "scheme", [s for s in SCHEME_NAMES if s != "ideal"]
+    )
+    def test_recovery_matches_reference(self, scheme):
+        system = InteractiveSystem(scheme)
+        for i in range(12):
+            system.store(0x1000 + i * 64)
+            if i % 4 == 3:
+                system.end_epoch()
+        image, _commit_id, reference = system.crash_and_recover()
+        assert reference is not None
+        for addr in set(image) | set(reference):
+            assert image.get(addr, 0) == reference.get(addr, 0)
+
+    def test_ideal_has_no_reference(self):
+        system = InteractiveSystem("ideal")
+        system.store(0x40)
+        _image, commit_id, reference = system.crash_and_recover()
+        assert commit_id is None
+        assert reference is None
+
+    def test_custom_config(self):
+        config = SystemConfig().scaled(512)
+        system = InteractiveSystem("picl", config)
+        assert system.config is config

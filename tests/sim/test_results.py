@@ -1,0 +1,97 @@
+"""Derived metrics on simulation results."""
+
+import pytest
+
+from repro.common.stats import StatCounters
+from repro.sim.config import SystemConfig
+from repro.sim.results import SimulationResult
+
+
+def make_result(cycles=1000, instructions=500, commits=0, scale=64, n_cores=1, **stats):
+    counters = StatCounters()
+    counters.set("commits", commits)
+    for key, value in stats.items():
+        counters.set(key.replace("__", "."), value)
+    config = SystemConfig().scaled(scale, n_cores=n_cores)
+    return SimulationResult(
+        "picl", ["gcc"], config, cycles, instructions, counters
+    )
+
+
+class TestHeadline:
+    def test_ipc(self):
+        assert make_result(cycles=1000, instructions=500).ipc == 0.5
+
+    def test_ipc_zero_cycles(self):
+        assert make_result(cycles=0).ipc == 0.0
+
+    def test_normalized_to(self):
+        ideal = make_result(cycles=1000)
+        slow = make_result(cycles=1500)
+        assert slow.normalized_to(ideal) == 1.5
+
+    def test_normalized_to_zero_ideal(self):
+        assert make_result().normalized_to(make_result(cycles=0)) == float("inf")
+
+
+class TestCommitMetrics:
+    def test_scheduled_epochs(self):
+        config_epoch = SystemConfig().scaled(64).epoch_instructions
+        result = make_result(instructions=config_epoch * 4, commits=4)
+        assert result.scheduled_epochs == 4
+        assert result.commits_per_epoch == 1.0
+
+    def test_forced_commits_raise_rate(self):
+        config_epoch = SystemConfig().scaled(64).epoch_instructions
+        result = make_result(instructions=config_epoch * 2, commits=10)
+        assert result.commits_per_epoch == 5.0
+
+    def test_observed_epoch_instructions(self):
+        result = make_result(instructions=1000, commits=4)
+        assert result.observed_epoch_instructions == 250
+
+    def test_observed_epoch_with_no_commits(self):
+        result = make_result(instructions=1000, commits=0)
+        assert result.observed_epoch_instructions == 1000
+
+    def test_multicore_normalizes_per_core(self):
+        result = make_result(instructions=8000, commits=4, n_cores=8)
+        assert result.observed_epoch_instructions == 250
+
+
+class TestIops:
+    def test_breakdown(self):
+        result = make_result(
+            nvm__iops__sequential=10, nvm__iops__random=20, nvm__iops__writeback=30
+        )
+        assert result.iops_breakdown == {
+            "sequential": 10,
+            "random": 20,
+            "writeback": 30,
+        }
+
+    def test_normalization(self):
+        ideal = make_result(nvm__iops__writeback=100)
+        result = make_result(
+            nvm__iops__sequential=50, nvm__iops__random=100, nvm__iops__writeback=100
+        )
+        normalized = result.iops_normalized_to(ideal)
+        assert normalized == {"sequential": 0.5, "random": 1.0, "writeback": 1.0}
+
+    def test_normalization_guards_zero(self):
+        ideal = make_result()
+        result = make_result(nvm__iops__random=5)
+        assert result.iops_normalized_to(ideal)["random"] == 5
+
+
+class TestLogMetrics:
+    def test_log_bytes(self):
+        result = make_result(log__bytes_appended=1024)
+        assert result.log_bytes_appended == 1024
+
+    def test_paper_scale_extrapolation(self):
+        result = make_result(scale=64, log__bytes_appended=1024)
+        assert result.log_bytes_scaled_to_paper() == 1024 * 64
+
+    def test_repr(self):
+        assert "picl" in repr(make_result())

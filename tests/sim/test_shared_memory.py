@@ -1,0 +1,106 @@
+"""Shared-memory multicore: coherence, undo forwarding, and recovery
+when cores store to the *same* lines.
+
+The paper's evaluation is multiprogram (disjoint address spaces), but
+its §IV-C Multi-core discussion requires correctness under sharing:
+"data writes from different cores and threads share the same epoch ID
+... thus recovery applies system-wide."
+"""
+
+import pytest
+
+from helpers import images_equal
+from repro.sim.config import SystemConfig
+from repro.sim.interactive import InteractiveSystem
+from repro.sim.simulator import SCHEME_NAMES, Simulation
+
+RECOVERABLE = [s for s in SCHEME_NAMES if s != "ideal"]
+
+
+def shared_config(n_cores=2, **overrides):
+    defaults = dict(track_reference=True, reference_depth=64)
+    defaults.update(overrides)
+    return SystemConfig().scaled(256, n_cores=n_cores, **defaults)
+
+
+class TestSharedTraceRuns:
+    def test_cores_actually_share_lines(self):
+        config = shared_config()
+        sim = Simulation(
+            config, "ideal", ["gcc", "gcc"], 20_000, shared_memory=True
+        )
+        sim.run()
+        assert sim.stats.get("llc.snoops") > 0
+
+    def test_disjoint_by_default(self):
+        config = shared_config()
+        sim = Simulation(config, "ideal", ["gcc", "gcc"], 20_000)
+        sim.run()
+        assert sim.stats.get("llc.snoops") == 0
+
+
+class TestSharedRecovery:
+    @pytest.mark.parametrize("scheme", RECOVERABLE)
+    def test_crash_recovery_under_sharing(self, scheme):
+        config = shared_config(n_cores=4)
+        sim = Simulation(
+            config,
+            scheme,
+            ["gcc", "bzip2", "gcc", "lbm"],
+            25_000,
+            seed=11,
+            shared_memory=True,
+        )
+        sim.run(crash_at_instructions=4 * 25_000 // 2)
+        image, commit_id, reference = sim.crash_and_recover()
+        assert reference is not None, commit_id
+        assert images_equal(image, reference)
+
+    @pytest.mark.parametrize("crash_fraction", [0.3, 0.8])
+    def test_picl_sharing_many_crash_points(self, crash_fraction):
+        config = shared_config()
+        sim = Simulation(
+            config, "picl", ["astar", "astar"], 40_000, seed=5, shared_memory=True
+        )
+        sim.run(crash_at_instructions=int(2 * 40_000 * crash_fraction))
+        image, _commit_id, reference = sim.crash_and_recover()
+        assert reference is not None
+        assert images_equal(image, reference)
+
+
+class TestCrossCoreStoreSemantics:
+    def test_cross_core_cross_epoch_store_creates_undo(self):
+        # Core 0 writes a line in epoch 0; core 1 rewrites it in epoch 1.
+        # The undo entry must carry core 0's value and epoch tag.
+        system = InteractiveSystem("picl", shared_config())
+        token0 = system.store(0x40, core=0)
+        system.end_epoch()
+        system.store(0x40, core=1)
+        entries = [
+            e for e in system.scheme.buffer.pending_entries() if e.addr == 0x40
+        ]
+        cross = entries[-1]
+        assert cross.token == token0
+        assert cross.valid_from == 0
+        assert cross.valid_till == 1
+
+    def test_snooped_data_visible_to_other_core(self):
+        system = InteractiveSystem("picl", shared_config())
+        token = system.store(0x40, core=0)
+        assert system.load(0x40, core=1) == token
+
+    def test_shared_line_recovery_exact(self):
+        import dataclasses
+
+        config = shared_config()
+        config.picl = dataclasses.replace(config.picl, acs_gap=1)
+        system = InteractiveSystem("picl", config)
+        a = system.store(0x40, core=0)
+        system.end_epoch()
+        system.store(0x40, core=1)
+        system.end_epoch()  # persists epoch 0
+        system.store(0x40, core=0)
+        image, commit_id, reference = system.crash_and_recover()
+        assert commit_id == 0
+        assert reference == {0x40: a}
+        assert images_equal(image, reference)

@@ -1,0 +1,59 @@
+"""Sweep helpers."""
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.sim.sweep import default_config, run_matrix, run_mix, run_single
+
+
+def config():
+    return SystemConfig().scaled(256)
+
+
+N = 40_000
+
+
+class TestRunSingle:
+    def test_returns_result(self):
+        result = run_single(config(), "ideal", "gcc", N)
+        assert result.scheme_name == "ideal"
+        assert result.benchmarks == ["gcc"]
+
+
+class TestRunMatrix:
+    def test_grid_shape(self):
+        results = run_matrix(config(), ["ideal", "picl"], ["gcc", "gamess"], N)
+        assert set(results) == {"gcc", "gamess"}
+        assert set(results["gcc"]) == {"ideal", "picl"}
+
+    def test_same_trace_across_schemes(self):
+        results = run_matrix(config(), ["ideal", "picl"], ["gcc"], N)
+        ideal = results["gcc"]["ideal"]
+        picl = results["gcc"]["picl"]
+        assert ideal.instructions == picl.instructions
+
+    def test_different_benchmarks_get_different_seeds(self):
+        results = run_matrix(config(), ["ideal"], ["gcc", "bzip2"], N)
+        assert (
+            results["gcc"]["ideal"].cycles != results["bzip2"]["ideal"].cycles
+        )
+
+
+class TestRunMix:
+    def test_mix_runs_eight_cores(self):
+        cfg = SystemConfig().scaled(256, n_cores=8)
+        result = run_mix(cfg, "ideal", "W0", 5_000)
+        assert len(result.per_core_cycles) == 8
+        assert result.benchmarks[0] == "h264ref"
+
+    def test_core_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            run_mix(config(), "ideal", "W0", 5_000)
+
+
+class TestDefaultConfig:
+    def test_scale(self):
+        assert default_config(scale=64).scale == 64
+
+    def test_overrides(self):
+        assert default_config(scale=64, n_cores=8).n_cores == 8

@@ -1,0 +1,54 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_experiment_takes_preset(self):
+        args = build_parser().parse_args(["fig09", "--preset", "ci"])
+        assert args.command == "fig09"
+        assert args.preset == "ci"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestMain:
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "fig09" in out
+        assert "calibrate" in out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        assert "recovery" in capsys.readouterr().out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_table3_runs(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "BRAM" in out
+
+    def test_every_command_is_wired(self):
+        from repro.cli import _experiment_commands
+
+        commands = _experiment_commands()
+        assert set(commands) >= {
+            "fig09", "fig10", "fig11", "fig12", "fig13",
+            "fig14", "fig15", "fig16", "table3", "calibrate", "recovery",
+        }
+        for name, (command_main, help_text) in commands.items():
+            assert callable(command_main), name
+            assert help_text

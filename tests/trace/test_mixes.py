@@ -1,0 +1,36 @@
+"""Table V multiprogram mixes."""
+
+import pytest
+
+from repro.trace.mixes import MULTIPROGRAM_MIXES, mix_names, mix_profiles
+
+
+class TestTableV:
+    def test_eight_mixes(self):
+        assert mix_names() == ["W0", "W1", "W2", "W3", "W4", "W5", "W6", "W7"]
+
+    @pytest.mark.parametrize("mix", sorted(MULTIPROGRAM_MIXES))
+    def test_each_mix_has_eight_benchmarks(self, mix):
+        assert len(MULTIPROGRAM_MIXES[mix]) == 8
+
+    @pytest.mark.parametrize("mix", sorted(MULTIPROGRAM_MIXES))
+    def test_profiles_resolve(self, mix):
+        profiles = mix_profiles(mix)
+        assert len(profiles) == 8
+        assert [p.name for p in profiles] == MULTIPROGRAM_MIXES[mix]
+
+    def test_w0_matches_paper(self):
+        assert MULTIPROGRAM_MIXES["W0"] == [
+            "h264ref", "soplex", "hmmer", "bzip2",
+            "gcc", "sjeng", "perlbench", "hmmer",
+        ]
+
+    def test_w7_matches_paper(self):
+        assert MULTIPROGRAM_MIXES["W7"] == [
+            "gcc", "wrf", "gcc", "bzip2",
+            "gamess", "gromacs", "gcc", "perlbench",
+        ]
+
+    def test_duplicates_allowed_within_mix(self):
+        # The paper's random draws repeat benchmarks (e.g. W5 has bzip2 x3).
+        assert MULTIPROGRAM_MIXES["W5"].count("bzip2") == 3

@@ -1,0 +1,119 @@
+"""Workload profiles: coverage, invariants, scaling."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.trace.profiles import (
+    BENCHMARKS,
+    FIG12_BENCHMARKS,
+    WorkloadProfile,
+    get_profile,
+)
+
+
+class TestCoverage:
+    def test_29_benchmarks(self):
+        # The union of Fig 9's x-axis, Fig 11's extras, and Table V.
+        assert len(BENCHMARKS) == 29
+
+    def test_fig12_selection_is_subset(self):
+        assert set(FIG12_BENCHMARKS) <= set(BENCHMARKS)
+
+    def test_fig12_has_13_benchmarks(self):
+        assert len(FIG12_BENCHMARKS) == 13
+
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    def test_every_profile_resolves(self, name):
+        assert get_profile(name).name == name
+
+    def test_lookup_case_insensitive(self):
+        assert get_profile("LBM").name == "lbm"
+        assert get_profile("cactusadm").name == "cactusADM"
+
+    def test_unknown_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_profile("doom")
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    def test_fractions_valid(self, name):
+        profile = get_profile(name)
+        assert 0 < profile.mem_ratio <= 1
+        assert 0 <= profile.write_frac <= 1
+        assert profile.seq_frac + profile.chase_frac <= 1
+        assert profile.write_seq_bias + profile.write_zipf_bias <= 1
+
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    def test_category_known(self, name):
+        assert get_profile(name).category in {
+            "pointer",
+            "memory",
+            "mixed",
+            "compute",
+            "stream",
+        }
+
+    def test_compute_benchmarks_are_light(self):
+        computes = [p for p in map(get_profile, BENCHMARKS) if p.category == "compute"]
+        streams = [p for p in map(get_profile, BENCHMARKS) if p.category == "stream"]
+        mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+        assert mean([p.mem_ratio for p in computes]) < mean(
+            [p.mem_ratio for p in streams]
+        )
+        assert mean([p.working_set_bytes for p in computes]) < mean(
+            [p.working_set_bytes for p in streams]
+        )
+
+    def test_pointer_benchmarks_have_low_spatial_locality(self):
+        for name in ("astar", "omnetpp", "xalancbmk"):
+            assert get_profile(name).chase_frac >= 0.5
+
+    def test_mcf_writes_are_sequential(self):
+        # "Workloads with sequential write traffic (e.g., mcf) favor
+        # Shadow-Paging."
+        assert get_profile("mcf").write_seq_bias >= 0.8
+
+
+class TestValidation:
+    def test_bad_mem_ratio(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile("x", 0.0, 0.5, 1024, 0.1, 0.1, 1.0, "mixed")
+
+    def test_bad_fractions(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile("x", 0.5, 0.5, 1024, 0.7, 0.6, 1.0, "mixed")
+
+    def test_bad_biases(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile(
+                "x", 0.5, 0.5, 1024, 0.1, 0.1, 1.0, "mixed",
+                write_seq_bias=0.6, write_zipf_bias=0.6,
+            )
+
+    def test_bad_working_set(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile("x", 0.5, 0.5, 0, 0.1, 0.1, 1.0, "mixed")
+
+
+class TestScaling:
+    def test_scaled_divides_working_set(self):
+        profile = get_profile("gcc")
+        scaled = profile.scaled(16)
+        assert scaled.working_set_bytes == profile.working_set_bytes // 16
+
+    def test_scaled_has_floor(self):
+        profile = get_profile("gamess")
+        scaled = profile.scaled(1 << 20)
+        assert scaled.working_set_bytes == 2048
+
+    def test_scaled_preserves_other_fields(self):
+        profile = get_profile("lbm")
+        scaled = profile.scaled(8)
+        assert scaled.mem_ratio == profile.mem_ratio
+        assert scaled.write_seq_bias == profile.write_seq_bias
+        assert scaled.name == profile.name
+
+    def test_profiles_are_frozen(self):
+        with pytest.raises(Exception):
+            get_profile("gcc").mem_ratio = 0.5

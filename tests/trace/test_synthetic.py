@@ -1,0 +1,152 @@
+"""Synthetic trace generation: determinism, budgets, locality structure."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.common.address import LINE_SIZE, page_address
+from repro.common.errors import ConfigurationError
+from repro.trace.profiles import get_profile
+from repro.trace.synthetic import SyntheticTrace, make_trace
+
+
+def collect(trace):
+    gaps, addrs, writes = [], [], []
+    for chunk in trace.chunks():
+        gaps.extend(chunk.gaps)
+        addrs.extend(chunk.addrs)
+        writes.extend(chunk.writes)
+    return gaps, addrs, writes
+
+
+def profile_with(**overrides):
+    base = get_profile("gcc").scaled(128)
+    base = dataclasses.replace(base, write_seq_bias=0.0, write_zipf_bias=0.0)
+    return dataclasses.replace(base, **overrides)
+
+
+class TestBudget:
+    def test_instruction_budget_respected(self):
+        trace = make_trace(profile_with(), 50_000, seed=1)
+        total = sum(chunk.instructions for chunk in trace.chunks())
+        assert total >= 50_000
+        # No more than one chunk of overshoot... the generator trims.
+        assert total <= 50_000 + 10_000
+
+    def test_instructions_match_gap_sum(self):
+        trace = make_trace(profile_with(), 30_000, seed=2)
+        for chunk in trace.chunks():
+            assert chunk.instructions == sum(chunk.gaps) + len(chunk)
+
+    def test_expected_refs(self):
+        profile = profile_with()
+        trace = make_trace(profile, 100_000)
+        gaps, _addrs, _writes = collect(trace)
+        expected = trace.expected_refs
+        assert abs(len(gaps) - expected) < expected * 0.2
+
+    def test_zero_instructions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_trace(profile_with(), 0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = collect(make_trace(profile_with(), 20_000, seed=7))
+        b = collect(make_trace(profile_with(), 20_000, seed=7))
+        assert a == b
+
+    def test_different_seed_different_trace(self):
+        a = collect(make_trace(profile_with(), 20_000, seed=7))
+        b = collect(make_trace(profile_with(), 20_000, seed=8))
+        assert a != b
+
+
+class TestAddresses:
+    def test_line_aligned(self):
+        _gaps, addrs, _writes = collect(make_trace(profile_with(), 20_000))
+        assert all(addr % LINE_SIZE == 0 for addr in addrs)
+
+    def test_within_working_set(self):
+        profile = profile_with()
+        _gaps, addrs, _writes = collect(make_trace(profile, 20_000))
+        assert max(addrs) < profile.working_set_bytes
+
+    def test_addr_base_offsets_everything(self):
+        base = 1 << 40
+        _g, addrs, _w = collect(make_trace(profile_with(), 20_000, addr_base=base))
+        assert all(addr >= base for addr in addrs)
+
+    def test_write_fraction_approximate(self):
+        profile = profile_with()
+        _g, _a, writes = collect(make_trace(profile, 200_000))
+        observed = sum(writes) / len(writes)
+        assert abs(observed - profile.write_frac) < 0.05
+
+    def test_mem_ratio_approximate(self):
+        profile = profile_with()
+        trace = make_trace(profile, 200_000)
+        n_refs = 0
+        n_instr = 0
+        for chunk in trace.chunks():
+            n_refs += len(chunk)
+            n_instr += chunk.instructions
+        assert abs(n_refs / n_instr - profile.mem_ratio) < 0.05
+
+
+class TestLocalityStructure:
+    def test_pure_sequential_walk(self):
+        profile = profile_with(seq_frac=1.0, chase_frac=0.0, seq_run=1)
+        _g, addrs, _w = collect(make_trace(profile, 5_000))
+        n_lines = profile.working_set_bytes // LINE_SIZE
+        expected = [(i % n_lines) * LINE_SIZE for i in range(len(addrs))]
+        assert addrs == expected
+
+    def test_seq_run_repeats_lines(self):
+        profile = profile_with(seq_frac=1.0, chase_frac=0.0, seq_run=8)
+        _g, addrs, _w = collect(make_trace(profile, 3_000))
+        # Each line appears in runs of 8 consecutive references.
+        assert addrs[0] == addrs[7]
+        assert addrs[8] == addrs[0] + LINE_SIZE
+
+    def test_zipf_concentrates_references(self):
+        profile = profile_with(seq_frac=0.0, chase_frac=0.0, zipf_alpha=1.5)
+        _g, addrs, _w = collect(make_trace(profile, 100_000))
+        unique = len(set(addrs))
+        assert unique < len(addrs) * 0.2
+
+    def test_chase_scatters_references(self):
+        profile = profile_with(seq_frac=0.0, chase_frac=1.0)
+        _g, addrs, _w = collect(make_trace(profile, 100_000))
+        n_lines = profile.working_set_bytes // LINE_SIZE
+        unique = len(set(addrs))
+        assert unique > n_lines * 0.5
+
+    def test_write_seq_bias_concentrates_written_pages(self):
+        scattered = profile_with(
+            seq_frac=0.3,
+            chase_frac=0.5,
+            working_set_bytes=2 * 1024 * 1024,
+        )
+        biased = dataclasses.replace(scattered, write_seq_bias=0.9)
+        pages = {}
+        for name, profile in (("scattered", scattered), ("biased", biased)):
+            _g, addrs, writes = collect(make_trace(profile, 100_000, seed=3))
+            pages[name] = len(
+                {page_address(a) for a, w in zip(addrs, writes) if w}
+            )
+        assert pages["biased"] < pages["scattered"]
+
+    def test_write_zipf_bias_shrinks_write_set(self):
+        flat = profile_with(
+            seq_frac=0.1,
+            chase_frac=0.5,
+            working_set_bytes=2 * 1024 * 1024,
+        )
+        hot = dataclasses.replace(flat, write_zipf_bias=0.8)
+        sets = {}
+        for name, profile in (("flat", flat), ("hot", hot)):
+            _g, addrs, writes = collect(make_trace(profile, 100_000, seed=4))
+            sets[name] = len({a for a, w in zip(addrs, writes) if w})
+        assert sets["hot"] < sets["flat"]
