@@ -14,6 +14,10 @@ import os
 
 import pytest
 
+# Benchmarks time (and archive) real simulations; a warm .repro_cache/
+# would turn them into cache reads. Explicit REPRO_NO_CACHE= re-enables.
+os.environ.setdefault("REPRO_NO_CACHE", "1")
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 

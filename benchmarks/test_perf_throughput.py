@@ -1,0 +1,90 @@
+"""Simulator throughput microbenchmark (refs/sec).
+
+Not a paper figure: this pins the raw speed of the per-reference
+simulation loop so hot-path regressions show up as numbers, not vibes.
+Three single-core workloads cover the interesting paths — Ideal NVM
+(pure hierarchy, no scheme work), PiCL on a cache-friendly trace, and
+PiCL on a write-heavy streaming trace that exercises the undo log and
+ACS hard.
+
+The harness is fixed (scale=128, 4 epochs, seed=20180101) so runs are
+comparable across commits on the same machine; the archived table in
+``results/perf_throughput.txt`` keeps the seed-commit baseline alongside
+the current numbers. Absolute refs/sec is machine-dependent, so the
+assertions only check the run completed sanely — read the archived
+speedup column for the perf story.
+"""
+
+import time
+
+from repro.sim.config import SystemConfig
+from repro.sim.sweep import run_single
+
+#: (scheme, benchmark) points measured, in order.
+WORKLOADS = [("ideal", "gcc"), ("picl", "gcc"), ("picl", "lbm")]
+
+#: refs/sec at the growth seed (commit 927c3e6) with this same harness on
+#: the reference machine — the "before" column of the archived table.
+SEED_BASELINE = {
+    ("ideal", "gcc"): 209633,
+    ("picl", "gcc"): 162984,
+    ("picl", "lbm"): 145722,
+    "overall": 166026,
+}
+
+
+def measure():
+    """Run every workload once; returns (rows, overall refs/sec)."""
+    config = SystemConfig().scaled(128)
+    n = config.epoch_instructions * 4
+    rows = []
+    total_refs = 0
+    total_time = 0.0
+    for scheme, benchmark in WORKLOADS:
+        start = time.perf_counter()
+        result = run_single(config, scheme, benchmark, n, seed=20180101)
+        elapsed = time.perf_counter() - start
+        refs = result.stat("loads") + result.stat("stores")
+        rows.append((scheme, benchmark, refs, elapsed, refs / elapsed))
+        total_refs += refs
+        total_time += elapsed
+    return rows, total_refs / total_time
+
+
+def format_result(rows, overall):
+    lines = [
+        "%-8s %-8s %10s %9s %12s %10s %9s"
+        % ("scheme", "bench", "refs", "time", "refs/sec", "seed", "speedup")
+    ]
+    for scheme, benchmark, refs, elapsed, rate in rows:
+        seed_rate = SEED_BASELINE[(scheme, benchmark)]
+        lines.append(
+            "%-8s %-8s %10d %8.3fs %12.0f %10d %8.2fx"
+            % (scheme, benchmark, refs, elapsed, rate, seed_rate, rate / seed_rate)
+        )
+    lines.append(
+        "%-8s %-8s %10s %9s %12.0f %10d %8.2fx"
+        % (
+            "overall", "", "", "",
+            overall,
+            SEED_BASELINE["overall"],
+            overall / SEED_BASELINE["overall"],
+        )
+    )
+    return "\n".join(lines)
+
+
+def test_perf_throughput(benchmark, archive):
+    rows, overall = benchmark.pedantic(measure, rounds=1, iterations=1)
+    archive(
+        "perf_throughput",
+        "Simulator throughput (scale=128, 4 epochs, seed=20180101; "
+        "seed column = commit 927c3e6 baseline)",
+        format_result(rows, overall),
+    )
+    # Sanity, not speed: the same fixed workload must have run end to end.
+    for scheme, benchmark_name, refs, _elapsed, rate in rows:
+        assert refs > 100_000, (scheme, benchmark_name)
+        assert rate > 0
+    # Both gcc runs see the identical trace, so identical reference counts.
+    assert rows[0][2] == rows[1][2]

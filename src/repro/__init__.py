@@ -38,11 +38,14 @@ from repro.core import (
 from repro.mem import NvmTimings
 from repro.sim import (
     SCHEME_NAMES,
+    ResultCache,
+    RunPoint,
     Simulation,
     SimulationResult,
     SystemConfig,
     run_matrix,
     run_mix,
+    run_points,
     run_single,
 )
 from repro.trace import BENCHMARKS, MULTIPROGRAM_MIXES, get_profile
@@ -66,6 +69,9 @@ __all__ = [
     "run_single",
     "run_matrix",
     "run_mix",
+    "run_points",
+    "RunPoint",
+    "ResultCache",
     "BENCHMARKS",
     "MULTIPROGRAM_MIXES",
     "get_profile",

@@ -3,6 +3,14 @@
 Sets are kept in MRU-first order; lookups move the hit line to the front and
 insertions evict from the back. This is the textbook LRU the paper's
 evaluation assumes (PiCL explicitly leaves the eviction policy unmodified).
+
+Structure: alongside the per-set MRU lists (which exist only to decide
+replacement order), one dict maps every resident line address to its line,
+so the hit/miss check is a single hash probe instead of a linear scan of
+the set. The cache also keeps running resident/dirty counts — insertions,
+removals, and dirty-bit flips (via :class:`repro.cache.line.CacheLine`'s
+``_home`` back-pointer) adjust them — so the ACS and flush paths can poll
+occupancy without iterating every line.
 """
 
 from repro.common.address import LINE_SIZE
@@ -42,7 +50,12 @@ class SetAssocCache:
         self._set_mask = n_sets - 1
         self._line_shift = line_size.bit_length() - 1
         self._sets = [[] for _ in range(n_sets)]
+        #: line_addr -> CacheLine for every resident line (the tag index).
+        self._tags = {}
+        #: Running count of dirty resident lines (see CacheLine.dirty).
+        self._dirty = 0
         self.stats = stats if stats is not None else StatCounters()
+        self._evictions = self.stats.slot("%s.evictions" % name)
 
     # ------------------------------------------------------------------
     # lookups
@@ -54,18 +67,21 @@ class SetAssocCache:
 
     def lookup(self, line_addr, touch=True):
         """Return the line at ``line_addr`` or None; ``touch`` updates LRU."""
-        cache_set = self._sets[self.set_index(line_addr)]
-        for index, line in enumerate(cache_set):
-            if line.addr == line_addr:
-                if touch and index != 0:
-                    cache_set.pop(index)
-                    cache_set.insert(0, line)
-                return line
-        return None
+        line = self._tags.get(line_addr)
+        if line is None:
+            return None
+        if touch:
+            cache_set = self._sets[
+                (line_addr >> self._line_shift) & self._set_mask
+            ]
+            if cache_set[0] is not line:
+                cache_set.remove(line)
+                cache_set.insert(0, line)
+        return line
 
     def contains(self, line_addr):
         """Presence check without LRU side effects."""
-        return self.lookup(line_addr, touch=False) is not None
+        return line_addr in self._tags
 
     # ------------------------------------------------------------------
     # insertion / removal
@@ -75,28 +91,46 @@ class SetAssocCache:
         """Insert ``line`` as MRU; returns the evicted victim line or None.
 
         The caller is responsible for handling the victim (write-back,
-        back-invalidation); the cache only applies LRU.
+        back-invalidation); the cache only applies LRU. The line must not
+        already be resident (callers always lookup first).
         """
-        cache_set = self._sets[self.set_index(line.addr)]
+        addr = line.addr
+        cache_set = self._sets[(addr >> self._line_shift) & self._set_mask]
         cache_set.insert(0, line)
+        self._tags[addr] = line
+        line._home = self
+        if line._dirty:
+            self._dirty += 1
         if len(cache_set) > self.assoc:
             victim = cache_set.pop()
-            self.stats.add("%s.evictions" % self.name)
+            del self._tags[victim.addr]
+            victim._home = None
+            if victim._dirty:
+                self._dirty -= 1
+            self._evictions.value += 1
             return victim
         return None
 
     def remove(self, line_addr):
         """Remove and return the line at ``line_addr`` (None if absent)."""
-        cache_set = self._sets[self.set_index(line_addr)]
-        for index, line in enumerate(cache_set):
-            if line.addr == line_addr:
-                return cache_set.pop(index)
-        return None
+        line = self._tags.pop(line_addr, None)
+        if line is None:
+            return None
+        cache_set = self._sets[(line_addr >> self._line_shift) & self._set_mask]
+        cache_set.remove(line)
+        line._home = None
+        if line._dirty:
+            self._dirty -= 1
+        return line
 
     def invalidate_all(self):
         """Drop every line (models power loss: SRAM contents vanish)."""
+        for line in self._tags.values():
+            line._home = None
         for cache_set in self._sets:
             cache_set.clear()
+        self._tags.clear()
+        self._dirty = 0
 
     # ------------------------------------------------------------------
     # iteration (flush engines, ACS, statistics)
@@ -113,12 +147,12 @@ class SetAssocCache:
         return [line for line in self.iter_lines() if line.dirty]
 
     def dirty_count(self):
-        """Number of dirty resident lines."""
-        return sum(1 for line in self.iter_lines() if line.dirty)
+        """Number of dirty resident lines (running count, O(1))."""
+        return self._dirty
 
     def resident_count(self):
-        """Number of resident lines."""
-        return sum(len(cache_set) for cache_set in self._sets)
+        """Number of resident lines (running count, O(1))."""
+        return len(self._tags)
 
     def __len__(self):
-        return self.resident_count()
+        return len(self._tags)

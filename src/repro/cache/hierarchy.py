@@ -91,6 +91,18 @@ class CacheHierarchy:
             self.stats,
         )
         self.sink = EvictionSink(controller)
+        # Pre-resolved counters for the per-access hot path.
+        self._loads = self.stats.slot("loads")
+        self._stores = self.stats.slot("stores")
+        self._l1_hits = self.stats.slot("l1.hits")
+        self._l1_misses = self.stats.slot("l1.misses")
+        self._l2_hits = self.stats.slot("l2.hits")
+        self._l2_misses = self.stats.slot("l2.misses")
+        self._llc_hits = self.stats.slot("llc.hits")
+        self._llc_misses = self.stats.slot("llc.misses")
+        self._llc_dirty_evictions = self.stats.slot("llc.dirty_evictions")
+        self._llc_clean_evictions = self.stats.slot("llc.clean_evictions")
+        self._llc_snoops = self.stats.slot("llc.snoops")
 
     def attach_sink(self, sink):
         """Attach the crash-consistency scheme's eviction sink."""
@@ -103,42 +115,47 @@ class CacheHierarchy:
     def access(self, core, line_addr, is_write, token, now):
         """Perform one load or store; returns cycles the core is blocked."""
         l1 = self._l1[core]
-        line = l1.lookup(line_addr)
+        # L1-hit fast path: probe the tag index and touch the LRU inline —
+        # by far the most common outcome of an access.
+        line = l1._tags.get(line_addr)
         if line is not None:
+            cache_set = l1._sets[(line_addr >> l1._line_shift) & l1._set_mask]
+            if cache_set[0] is not line:
+                cache_set.remove(line)
+                cache_set.insert(0, line)
+            self._l1_hits.value += 1
+            if not is_write:
+                self._loads.value += 1
+                return l1.hit_latency
             wait = l1.hit_latency
-            self.stats.add("l1.hits")
         else:
             line, fill_latency, stall = self._fill_to_l1(core, line_addr, now)
-            if is_write:
-                wait = int(fill_latency * self.store_miss_factor) + stall
-            else:
-                wait = fill_latency + stall
-        if is_write:
-            wait += self.sink.on_store(core, line, now)
-            line.token = token
-            line.dirty = True
-            line.state = LineState.MODIFIED
-            self.stats.add("stores")
-        else:
-            self.stats.add("loads")
+            if not is_write:
+                self._loads.value += 1
+                return fill_latency + stall
+            wait = int(fill_latency * self.store_miss_factor) + stall
+        wait += self.sink.on_store(core, line, now)
+        line.token = token
+        line.dirty = True
+        line.state = LineState.MODIFIED
+        self._stores.value += 1
         return wait
 
     def _fill_to_l1(self, core, line_addr, now):
         """Bring a line into the core's L1; returns (line, latency, stall)."""
-        self.stats.add("l1.misses")
+        self._l1_misses.value += 1
         l2 = self._l2[core]
         stall = 0
         source = l2.lookup(line_addr)
         if source is not None:
             latency = l2.hit_latency
-            self.stats.add("l2.hits")
+            self._l2_hits.value += 1
         else:
-            self.stats.add("l2.misses")
+            self._l2_misses.value += 1
             source, latency, stall = self._fill_to_l2(core, line_addr, now)
         line = source.copy_fill(line_addr)
-        line.dirty = False
         victim = self._l1[core].insert(line)
-        if victim is not None and victim.dirty:
+        if victim is not None and victim._dirty:
             self._merge_down(victim, l2, line_addr_level="l2")
         return line, latency + self._l1[core].hit_latency, stall
 
@@ -148,11 +165,11 @@ class CacheHierarchy:
         stall = 0
         if llc_line is not None:
             latency = self.llc.hit_latency
-            self.stats.add("llc.hits")
+            self._llc_hits.value += 1
             if llc_line.owner is not None and llc_line.owner != core:
                 self._snoop_invalidate(llc_line)
         else:
-            self.stats.add("llc.misses")
+            self._llc_misses.value += 1
             override = self.sink.fill_token(line_addr)
             mem_latency, token = self.controller.demand_fill(line_addr, now)
             if override is not None:
@@ -163,13 +180,12 @@ class CacheHierarchy:
             latency = self.llc.hit_latency + mem_latency
         llc_line.owner = core
         line = llc_line.copy_fill(line_addr)
-        line.dirty = False
         victim = self._l2[core].insert(line)
         if victim is not None:
             dropped = self._l1[core].remove(victim.addr)
-            if dropped is not None and dropped.dirty:
+            if dropped is not None and dropped._dirty:
                 self._merge_lines(victim, dropped)
-            if victim.dirty:
+            if victim._dirty:
                 target = self.llc.lookup(victim.addr, touch=False)
                 if target is None:
                     raise SimulationError(
@@ -185,10 +201,10 @@ class CacheHierarchy:
         if victim is None:
             return 0
         self._back_invalidate(victim)
-        if victim.dirty:
-            self.stats.add("llc.dirty_evictions")
+        if victim._dirty:
+            self._llc_dirty_evictions.value += 1
             return self.sink.write_back(victim.addr, victim.token, now)
-        self.stats.add("llc.clean_evictions")
+        self._llc_clean_evictions.value += 1
         return 0
 
     # ------------------------------------------------------------------
@@ -220,16 +236,16 @@ class CacheHierarchy:
         l1_copy = self._l1[owner].remove(llc_victim.addr)
         l2_copy = self._l2[owner].remove(llc_victim.addr)
         # L1 holds the freshest data; fall back to L2.
-        if l1_copy is not None and l1_copy.dirty:
+        if l1_copy is not None and l1_copy._dirty:
             self._merge_lines(llc_victim, l1_copy)
-        elif l2_copy is not None and l2_copy.dirty:
+        elif l2_copy is not None and l2_copy._dirty:
             self._merge_lines(llc_victim, l2_copy)
         llc_victim.owner = None
 
     def _snoop_invalidate(self, llc_line):
         """Another core touches a privately-held line: pull data, release."""
         self._back_invalidate(llc_line)
-        self.stats.add("llc.snoops")
+        self._llc_snoops.value += 1
 
     def _refresh_copy(self, copy, llc_line):
         """Make a private copy identical to the (now freshest) LLC line.

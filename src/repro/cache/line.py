@@ -26,18 +26,44 @@ class LineState:
 class CacheLine:
     """One cache line: tag, coherence state, dirty bit, token, EID tag."""
 
-    __slots__ = ("addr", "state", "dirty", "token", "eid", "owner", "sub_eids")
+    __slots__ = (
+        "addr",
+        "state",
+        "_dirty",
+        "token",
+        "eid",
+        "owner",
+        "sub_eids",
+        "_home",
+    )
 
     def __init__(self, addr, token=0, state=LineState.EXCLUSIVE, owner=None):
         self.addr = addr
         self.state = state
-        self.dirty = False
+        self._dirty = False
         self.token = token
         self.eid = EpochId.NONE
         #: Core id that holds private copies (LLC bookkeeping); None if none.
         self.owner = owner
         #: Optional per-sub-block EIDs for 16 B tracking granularity.
         self.sub_eids = None
+        #: The SetAssocCache this line currently resides in (None if none);
+        #: maintained by the cache so dirty-bit flips can keep its running
+        #: dirty count exact without scanning the sets.
+        self._home = None
+
+    @property
+    def dirty(self):
+        return self._dirty
+
+    @dirty.setter
+    def dirty(self, value):
+        value = bool(value)
+        if value != self._dirty:
+            self._dirty = value
+            home = self._home
+            if home is not None:
+                home._dirty += 1 if value else -1
 
     def copy_fill(self, addr):
         """Create a new line for an upper level, copying data and EID tag.

@@ -6,8 +6,14 @@ Commands map one-to-one onto the experiment modules plus a few utilities:
 
     $ python -m repro list                 # what can I run?
     $ python -m repro fig09 --preset quick # regenerate Fig 9's table
+    $ python -m repro fig09 --jobs 4       # fan runs over 4 worker processes
     $ python -m repro calibrate            # workload-profile diagnostics
     $ python -m repro recovery             # recovery-latency/availability study
+
+Runs are cached on disk (``.repro_cache/``; see repro.sim.parallel), so a
+repeated figure at the same preset costs no simulation. ``--jobs``
+defaults to the ``REPRO_JOBS`` environment variable, then 1; results are
+bit-identical at any jobs count.
 """
 
 import argparse
@@ -62,6 +68,12 @@ def build_parser():
             default=None,
             help="system scale preset: ci, quick (default), or full",
         )
+        sub.add_argument(
+            "--jobs",
+            default=None,
+            help="worker processes for simulation points: a count, or "
+            "'auto' for one per CPU (default: $REPRO_JOBS, then 1)",
+        )
     return parser
 
 
@@ -79,6 +91,8 @@ def main(argv=None):
         return 0
     command_main, _help = commands[args.command]
     command_args = [args.preset] if args.preset else []
+    if getattr(args, "jobs", None):
+        command_args += ["--jobs", args.jobs]
     command_main(command_args)
     return 0
 

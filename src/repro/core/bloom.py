@@ -39,14 +39,25 @@ class BloomFilter:
 
     def add(self, addr):
         """Set the address's bits."""
-        for pos in self._positions(addr):
-            self._bits |= 1 << pos
+        # Inlined _positions: add/might_contain run on every cross-epoch
+        # store and every dirty eviction, so skip the generator machinery.
+        h1 = (addr * 2654435761) & 0xFFFFFFFF
+        h2 = ((addr >> 6) * 40503 + 0x9E3779B9) & 0xFFFFFFFF
+        mask = self._mask
+        bits = self._bits
+        for i in range(self.n_hashes):
+            bits |= 1 << ((h1 + i * h2) & mask)
+        self._bits = bits
         self._population += 1
 
     def might_contain(self, addr):
         """True when ``addr`` may have been added since the last clear."""
-        for pos in self._positions(addr):
-            if not (self._bits >> pos) & 1:
+        h1 = (addr * 2654435761) & 0xFFFFFFFF
+        h2 = ((addr >> 6) * 40503 + 0x9E3779B9) & 0xFFFFFFFF
+        mask = self._mask
+        bits = self._bits
+        for i in range(self.n_hashes):
+            if not (bits >> ((h1 + i * h2) & mask)) & 1:
                 return False
         return True
 

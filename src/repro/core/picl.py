@@ -104,6 +104,7 @@ class PiclScheme(CrashConsistencyScheme):
         #: Optional I/O consistency buffer (attach_io_buffer).
         self.io_buffer = None
         self._store_seq = 0
+        self._cross_epoch_stores = self.stats.slot("picl.cross_epoch_stores")
 
     def attach_io_buffer(self, io_buffer):
         """Register an IoConsistencyBuffer to be released on persists."""
@@ -133,10 +134,10 @@ class PiclScheme(CrashConsistencyScheme):
         entry = UndoEntry(line.addr, line.token, valid_from, system_eid)
         stall += self.buffer.add(entry, now + stall)
         self.granularity.apply_store(line, system_eid, self._store_seq)
-        self.stats.add("picl.cross_epoch_stores")
+        self._cross_epoch_stores.value += 1
         # Undo forwarding: keep the LLC's EID tag current so ACS and the
         # eviction path see the line's true epoch (Fig 8).
-        llc_line = self.hierarchy.llc.lookup(line.addr, touch=False)
+        llc_line = self.hierarchy.llc._tags.get(line.addr)
         if llc_line is None:
             raise SimulationError(
                 "inclusion violated: stored line %#x absent from LLC" % line.addr

@@ -40,6 +40,7 @@ class UndoBuffer:
         self.stats = stats if stats is not None else StatCounters()
         self._entries = []
         self._pending_addrs = set()
+        self._entries_created = self.stats.slot("undo.entries_created")
 
     def __len__(self):
         return len(self._entries)
@@ -60,7 +61,7 @@ class UndoBuffer:
         self._entries.append(entry)
         self._pending_addrs.add(entry.addr)
         self.bloom.add(entry.addr)
-        self.stats.add("undo.entries_created")
+        self._entries_created.value += 1
         if len(self._entries) >= self.capacity:
             return self.flush(now)
         return 0

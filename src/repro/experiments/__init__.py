@@ -9,4 +9,26 @@ printers; ``calibrate`` is the tool used to tune the workload profiles.
 
 from repro.experiments.presets import Preset, get_preset
 
-__all__ = ["Preset", "get_preset"]
+
+def parse_experiment_argv(argv):
+    """Split an experiment ``main(argv)`` into ``(preset_name, jobs)``.
+
+    Experiments historically took the preset name as a bare positional
+    argument (``fig09.main(["quick"])``); ``--jobs N`` / ``--jobs=N`` now
+    rides along in the same list. Both return values may be None (meaning:
+    resolve from REPRO_PRESET / REPRO_JOBS).
+    """
+    preset = None
+    jobs = None
+    rest = iter(argv or [])
+    for arg in rest:
+        if arg == "--jobs":
+            jobs = next(rest, None)
+        elif arg.startswith("--jobs="):
+            jobs = arg.split("=", 1)[1]
+        elif preset is None:
+            preset = arg
+    return preset, jobs
+
+
+__all__ = ["Preset", "get_preset", "parse_experiment_argv"]

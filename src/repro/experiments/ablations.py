@@ -14,37 +14,65 @@ sweeps chart the trade-offs behind them:
   64 B lines: more, smaller undo entries.
 * **Epoch length** — PiCL "has reliable performance when using
   checkpoints of up to 100 ms".
+
+Every sweep takes ``jobs``/``cache`` and dispatches its whole grid through
+:func:`repro.sim.parallel.run_keyed`, so sweep points run concurrently
+(and hit the on-disk result cache) like the numbered figures do.
 """
 
 import dataclasses
 
 from repro.core.picl import PiclConfig
 from repro.experiments.presets import get_preset
-from repro.sim.sweep import run_single
+from repro.sim.parallel import ResultCache, RunPoint, run_keyed
 
 DEFAULT_BENCHMARKS = ("gcc", "lbm", "astar")
 
 
-def _overhead(config, benchmark, n_instructions, seed):
-    ideal = run_single(config, "ideal", benchmark, n_instructions, seed)
-    picl = run_single(config, "picl", benchmark, n_instructions, seed)
-    return picl, picl.normalized_to(ideal)
+def _run_grid(preset, config_points, benchmarks, schemes, jobs, cache):
+    """Run schemes x benchmarks for every (point, config, n_instructions).
+
+    ``config_points`` is ``[(point_key, config, n_instructions), ...]``;
+    returns ``{(point_key, benchmark, scheme): SimulationResult}``.
+    """
+    if cache is None:
+        cache = ResultCache.from_env()
+    pairs = []
+    for point_key, config, n_instructions in config_points:
+        for index, benchmark in enumerate(benchmarks):
+            seed = preset.seed + index * 7919
+            for scheme in schemes:
+                pairs.append(
+                    (
+                        (point_key, benchmark, scheme),
+                        RunPoint.single(
+                            config, scheme, benchmark, n_instructions, seed
+                        ),
+                    )
+                )
+    return run_keyed(pairs, jobs=jobs, cache=cache)
 
 
-def sweep_acs_gap(preset=None, gaps=(0, 1, 3), benchmarks=DEFAULT_BENCHMARKS):
+def sweep_acs_gap(
+    preset=None, gaps=(0, 1, 3), benchmarks=DEFAULT_BENCHMARKS, jobs=None, cache=None
+):
     """Returns {gap: {benchmark: {overhead, acs_writebacks, persist_lag}}}."""
     preset = get_preset(preset)
-    results = {}
+    config_points = []
     for gap in gaps:
         config = preset.config()
         config.picl = dataclasses.replace(config.picl, acs_gap=gap)
-        n_instructions = preset.instructions(config)
+        config_points.append((gap, config, preset.instructions(config)))
+    grid = _run_grid(
+        preset, config_points, benchmarks, ("ideal", "picl"), jobs, cache
+    )
+    results = {}
+    for gap in gaps:
         per_bench = {}
-        for index, benchmark in enumerate(benchmarks):
-            seed = preset.seed + index * 7919
-            picl, overhead = _overhead(config, benchmark, n_instructions, seed)
+        for benchmark in benchmarks:
+            picl = grid[(gap, benchmark, "picl")]
             per_bench[benchmark] = {
-                "overhead": overhead,
+                "overhead": picl.normalized_to(grid[(gap, benchmark, "ideal")]),
                 "acs_writebacks": picl.stat("acs.writebacks"),
                 "persist_lag_epochs": gap,
             }
@@ -53,11 +81,15 @@ def sweep_acs_gap(preset=None, gaps=(0, 1, 3), benchmarks=DEFAULT_BENCHMARKS):
 
 
 def sweep_undo_buffer(
-    preset=None, entry_counts=(8, 32, 128), benchmarks=DEFAULT_BENCHMARKS
+    preset=None,
+    entry_counts=(8, 32, 128),
+    benchmarks=DEFAULT_BENCHMARKS,
+    jobs=None,
+    cache=None,
 ):
     """Returns {entries: {benchmark: {overhead, buffer_flushes}}}."""
     preset = get_preset(preset)
-    results = {}
+    config_points = []
     for entries in entry_counts:
         config = preset.config()
         config.picl = dataclasses.replace(
@@ -65,13 +97,17 @@ def sweep_undo_buffer(
             undo_buffer_entries=entries,
             undo_flush_bytes=entries * 72,
         )
-        n_instructions = preset.instructions(config)
+        config_points.append((entries, config, preset.instructions(config)))
+    grid = _run_grid(
+        preset, config_points, benchmarks, ("ideal", "picl"), jobs, cache
+    )
+    results = {}
+    for entries in entry_counts:
         per_bench = {}
-        for index, benchmark in enumerate(benchmarks):
-            seed = preset.seed + index * 7919
-            picl, overhead = _overhead(config, benchmark, n_instructions, seed)
+        for benchmark in benchmarks:
+            picl = grid[(entries, benchmark, "picl")]
             per_bench[benchmark] = {
-                "overhead": overhead,
+                "overhead": picl.normalized_to(grid[(entries, benchmark, "ideal")]),
                 "buffer_flushes": picl.stat("undo.buffer_flushes"),
             }
         results[entries] = per_bench
@@ -79,19 +115,25 @@ def sweep_undo_buffer(
 
 
 def sweep_bloom_bits(
-    preset=None, bit_sizes=(64, 1024, 4096), benchmarks=DEFAULT_BENCHMARKS
+    preset=None,
+    bit_sizes=(64, 1024, 4096),
+    benchmarks=DEFAULT_BENCHMARKS,
+    jobs=None,
+    cache=None,
 ):
     """Returns {bits: {benchmark: {forced_flushes, false_positives}}}."""
     preset = get_preset(preset)
-    results = {}
+    config_points = []
     for bits in bit_sizes:
         config = preset.config()
         config.picl = dataclasses.replace(config.picl, bloom_bits=bits)
-        n_instructions = preset.instructions(config)
+        config_points.append((bits, config, preset.instructions(config)))
+    grid = _run_grid(preset, config_points, benchmarks, ("picl",), jobs, cache)
+    results = {}
+    for bits in bit_sizes:
         per_bench = {}
-        for index, benchmark in enumerate(benchmarks):
-            seed = preset.seed + index * 7919
-            picl = run_single(config, "picl", benchmark, n_instructions, seed)
+        for benchmark in benchmarks:
+            picl = grid[(bits, benchmark, "picl")]
             per_bench[benchmark] = {
                 "forced_flushes": picl.stat("undo.forced_flushes"),
                 "false_positives": picl.stat("undo.bloom_false_positives"),
@@ -100,22 +142,31 @@ def sweep_bloom_bits(
     return results
 
 
-def sweep_granularity(preset=None, benchmarks=DEFAULT_BENCHMARKS):
+def sweep_granularity(
+    preset=None, benchmarks=DEFAULT_BENCHMARKS, jobs=None, cache=None
+):
     """Returns {granularity: {benchmark: {overhead, log_bytes, entries}}}."""
     preset = get_preset(preset)
-    results = {}
-    for granularity in (64, 16):
+    granularities = (64, 16)
+    config_points = []
+    for granularity in granularities:
         config = preset.config()
         config.picl = dataclasses.replace(
             config.picl, tracking_granularity=granularity
         )
-        n_instructions = preset.instructions(config)
+        config_points.append((granularity, config, preset.instructions(config)))
+    grid = _run_grid(
+        preset, config_points, benchmarks, ("ideal", "picl"), jobs, cache
+    )
+    results = {}
+    for granularity in granularities:
         per_bench = {}
-        for index, benchmark in enumerate(benchmarks):
-            seed = preset.seed + index * 7919
-            picl, overhead = _overhead(config, benchmark, n_instructions, seed)
+        for benchmark in benchmarks:
+            picl = grid[(granularity, benchmark, "picl")]
             per_bench[benchmark] = {
-                "overhead": overhead,
+                "overhead": picl.normalized_to(
+                    grid[(granularity, benchmark, "ideal")]
+                ),
                 "log_bytes": picl.log_bytes_appended,
                 "entries": picl.stat("undo.entries_created"),
             }
@@ -124,7 +175,11 @@ def sweep_granularity(preset=None, benchmarks=DEFAULT_BENCHMARKS):
 
 
 def sweep_epoch_length(
-    preset=None, multipliers=(0.25, 1, 8), benchmarks=DEFAULT_BENCHMARKS
+    preset=None,
+    multipliers=(0.25, 1, 8),
+    benchmarks=DEFAULT_BENCHMARKS,
+    jobs=None,
+    cache=None,
 ):
     """Returns {multiplier: {benchmark: {overhead, log_bytes}}}.
 
@@ -132,19 +187,26 @@ def sweep_epoch_length(
     paper's "up to 100 ms" claim at the default clock.
     """
     preset = get_preset(preset)
-    results = {}
+    config_points = []
     for multiplier in multipliers:
         base = preset.config()
         config = preset.config(
             epoch_instructions=max(1000, int(base.epoch_instructions * multiplier))
         )
-        n_instructions = preset.instructions(base)  # same work for all points
+        # same work for all points
+        config_points.append((multiplier, config, preset.instructions(base)))
+    grid = _run_grid(
+        preset, config_points, benchmarks, ("ideal", "picl"), jobs, cache
+    )
+    results = {}
+    for multiplier in multipliers:
         per_bench = {}
-        for index, benchmark in enumerate(benchmarks):
-            seed = preset.seed + index * 7919
-            picl, overhead = _overhead(config, benchmark, n_instructions, seed)
+        for benchmark in benchmarks:
+            picl = grid[(multiplier, benchmark, "picl")]
             per_bench[benchmark] = {
-                "overhead": overhead,
+                "overhead": picl.normalized_to(
+                    grid[(multiplier, benchmark, "ideal")]
+                ),
                 "log_bytes": picl.log_bytes_appended,
             }
         results[multiplier] = per_bench

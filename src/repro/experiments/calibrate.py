@@ -16,6 +16,7 @@ Run as ``python -m repro.experiments.calibrate [preset]``.
 import sys
 
 from repro.common.address import page_address
+from repro.experiments import parse_experiment_argv
 from repro.experiments.presets import get_preset
 from repro.sim.simulator import Simulation
 from repro.trace.profiles import BENCHMARKS, get_profile
@@ -77,7 +78,8 @@ def calibrate_one(name, preset):
 def main(argv=None):
     """Print the calibration table for every benchmark."""
     argv = argv if argv is not None else sys.argv[1:]
-    preset = get_preset(argv[0] if argv else None)
+    preset_name, _jobs = parse_experiment_argv(argv)
+    preset = get_preset(preset_name)
     config = preset.config()
     print(
         "preset=%s scale=%d epoch=%d instr jtable=%d stable=%d"

@@ -8,30 +8,42 @@ consistency with almost no overhead" — only rare cases like sphinx3 lose
 
 import sys
 
+from repro.experiments import parse_experiment_argv
 from repro.experiments.presets import get_preset
 from repro.experiments.report import format_table, geomean, print_header
-from repro.sim.sweep import run_single
+from repro.sim.parallel import ResultCache, RunPoint, run_keyed
 from repro.trace.profiles import BENCHMARKS
 
 #: The schemes Fig 9 plots, in its legend order.
 SCHEMES = ("journaling", "shadow", "frm", "thynvm", "picl")
 
 
-def run(preset=None, benchmarks=None, epochs=None):
+def run(preset=None, benchmarks=None, epochs=None, jobs=None, cache=None):
     """Returns {benchmark: {scheme: normalized_execution_time}}."""
     preset = get_preset(preset)
     config = preset.config()
     n_instructions = preset.instructions(config, epochs)
     benchmarks = benchmarks if benchmarks is not None else BENCHMARKS
-    normalized = {}
+    if cache is None:
+        cache = ResultCache.from_env()
+    pairs = []
     for index, benchmark in enumerate(benchmarks):
         seed = preset.seed + index * 7919
-        ideal = run_single(config, "ideal", benchmark, n_instructions, seed)
-        row = {}
-        for scheme in SCHEMES:
-            result = run_single(config, scheme, benchmark, n_instructions, seed)
-            row[scheme] = result.normalized_to(ideal)
-        normalized[benchmark] = row
+        for scheme in ("ideal",) + SCHEMES:
+            pairs.append(
+                (
+                    (benchmark, scheme),
+                    RunPoint.single(config, scheme, benchmark, n_instructions, seed),
+                )
+            )
+    results = run_keyed(pairs, jobs=jobs, cache=cache)
+    normalized = {}
+    for benchmark in benchmarks:
+        ideal = results[(benchmark, "ideal")]
+        normalized[benchmark] = {
+            scheme: results[(benchmark, scheme)].normalized_to(ideal)
+            for scheme in SCHEMES
+        }
     return normalized
 
 
@@ -56,16 +68,17 @@ def format_result(normalized):
 
 
 def main(argv=None):
-    """Print the figure for the preset named in argv."""
+    """Print the figure for the preset (and --jobs) named in argv."""
     argv = argv if argv is not None else sys.argv[1:]
-    preset = get_preset(argv[0] if argv else None)
+    preset_name, jobs = parse_experiment_argv(argv)
+    preset = get_preset(preset_name)
     print_header(
         "Fig 9: single-core execution time normalized to Ideal NVM "
         "(lower is better)",
         preset,
         preset.config(),
     )
-    print(format_result(run(preset)))
+    print(format_result(run(preset, jobs=jobs)))
 
 
 if __name__ == "__main__":

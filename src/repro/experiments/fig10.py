@@ -8,9 +8,11 @@ one table) hurt the most. Lower is better.
 
 import sys
 
+from repro.experiments import parse_experiment_argv
 from repro.experiments.presets import get_preset
 from repro.experiments.report import format_table, geomean, print_header
-from repro.sim.sweep import run_mix
+from repro.sim.parallel import ResultCache, run_keyed
+from repro.sim.sweep import mix_point
 from repro.trace.mixes import mix_names
 
 SCHEMES = ("journaling", "shadow", "frm", "thynvm", "picl")
@@ -20,21 +22,29 @@ SCHEMES = ("journaling", "shadow", "frm", "thynvm", "picl")
 DEFAULT_EPOCHS = 2
 
 
-def run(preset=None, mixes=None, epochs=DEFAULT_EPOCHS):
+def run(preset=None, mixes=None, epochs=DEFAULT_EPOCHS, jobs=None, cache=None):
     """Returns {mix: {scheme: normalized_execution_time}}."""
     preset = get_preset(preset)
     config = preset.config(n_cores=8)
     n_instructions = preset.instructions(config, epochs) // config.n_cores
     mixes = mixes if mixes is not None else mix_names()
-    normalized = {}
+    if cache is None:
+        cache = ResultCache.from_env()
+    pairs = []
     for index, mix in enumerate(mixes):
         seed = preset.seed + index * 104729
-        ideal = run_mix(config, "ideal", mix, n_instructions, seed)
-        row = {}
-        for scheme in SCHEMES:
-            result = run_mix(config, scheme, mix, n_instructions, seed)
-            row[scheme] = result.normalized_to(ideal)
-        normalized[mix] = row
+        for scheme in ("ideal",) + SCHEMES:
+            pairs.append(
+                ((mix, scheme), mix_point(config, scheme, mix, n_instructions, seed))
+            )
+    results = run_keyed(pairs, jobs=jobs, cache=cache)
+    normalized = {}
+    for mix in mixes:
+        ideal = results[(mix, "ideal")]
+        normalized[mix] = {
+            scheme: results[(mix, scheme)].normalized_to(ideal)
+            for scheme in SCHEMES
+        }
     return normalized
 
 
@@ -57,14 +67,15 @@ def format_result(normalized):
 def main(argv=None):
     """Print the figure for the preset named in argv."""
     argv = argv if argv is not None else sys.argv[1:]
-    preset = get_preset(argv[0] if argv else None)
+    preset_name, jobs = parse_experiment_argv(argv)
+    preset = get_preset(preset_name)
     print_header(
         "Fig 10: eight-thread multiprogram execution time normalized to "
         "Ideal NVM (lower is better)",
         preset,
         preset.config(n_cores=8),
     )
-    print(format_result(run(preset)))
+    print(format_result(run(preset, jobs=jobs)))
 
 
 if __name__ == "__main__":

@@ -9,29 +9,41 @@ Lower is better; the paper plots Journaling, Shadow, and PiCL.
 
 import sys
 
+from repro.experiments import parse_experiment_argv
 from repro.experiments.presets import get_preset
 from repro.experiments.report import format_table, geomean, print_header
-from repro.sim.sweep import run_single
+from repro.sim.parallel import ResultCache, RunPoint, run_keyed
 from repro.trace.profiles import BENCHMARKS
 
 SCHEMES = ("journaling", "shadow", "picl")
 
 
-def run(preset=None, benchmarks=None, epochs=None):
+def run(preset=None, benchmarks=None, epochs=None, jobs=None, cache=None):
     """Returns {benchmark: {scheme: commits_per_epoch}}."""
     preset = get_preset(preset)
     config = preset.config()
     n_instructions = preset.instructions(config, epochs)
     benchmarks = benchmarks if benchmarks is not None else BENCHMARKS
-    commits = {}
+    if cache is None:
+        cache = ResultCache.from_env()
+    pairs = []
     for index, benchmark in enumerate(benchmarks):
         seed = preset.seed + index * 7919
-        row = {}
         for scheme in SCHEMES:
-            result = run_single(config, scheme, benchmark, n_instructions, seed)
-            row[scheme] = result.commits_per_epoch
-        commits[benchmark] = row
-    return commits
+            pairs.append(
+                (
+                    (benchmark, scheme),
+                    RunPoint.single(config, scheme, benchmark, n_instructions, seed),
+                )
+            )
+    results = run_keyed(pairs, jobs=jobs, cache=cache)
+    return {
+        benchmark: {
+            scheme: results[(benchmark, scheme)].commits_per_epoch
+            for scheme in SCHEMES
+        }
+        for benchmark in benchmarks
+    }
 
 
 def format_result(commits):
@@ -53,14 +65,15 @@ def format_result(commits):
 def main(argv=None):
     """Print the figure for the preset named in argv."""
     argv = argv if argv is not None else sys.argv[1:]
-    preset = get_preset(argv[0] if argv else None)
+    preset_name, jobs = parse_experiment_argv(argv)
+    preset = get_preset(preset_name)
     print_header(
         "Fig 11: commits per default epoch interval (lower is better; "
         "1.0 = never forced)",
         preset,
         preset.config(),
     )
-    print(format_result(run(preset)))
+    print(format_result(run(preset, jobs=jobs)))
 
 
 if __name__ == "__main__":

@@ -10,16 +10,17 @@ the log bytes appended, scaled back to the paper's full-size system.
 import sys
 
 from repro.common.units import MB
+from repro.experiments import parse_experiment_argv
 from repro.experiments.presets import get_preset
 from repro.experiments.report import amean, format_table, print_header
-from repro.sim.sweep import run_single
+from repro.sim.parallel import ResultCache, RunPoint, run_keyed
 from repro.trace.profiles import BENCHMARKS
 
 #: The figure measures eight epochs' worth of logging.
 EPOCHS = 8
 
 
-def run(preset=None, benchmarks=None):
+def run(preset=None, benchmarks=None, jobs=None, cache=None):
     """Returns {benchmark: (model_scale_mb, extrapolated_paper_mb)}.
 
     The first number is what the scaled system actually logged; the second
@@ -31,15 +32,25 @@ def run(preset=None, benchmarks=None):
     config = preset.config()
     n_instructions = config.epoch_instructions * EPOCHS
     benchmarks = benchmarks if benchmarks is not None else BENCHMARKS
-    log_mb = {}
-    for index, benchmark in enumerate(benchmarks):
-        seed = preset.seed + index * 7919
-        result = run_single(config, "picl", benchmark, n_instructions, seed)
-        log_mb[benchmark] = (
-            result.log_bytes_appended / MB,
-            result.log_bytes_scaled_to_paper() / MB,
+    if cache is None:
+        cache = ResultCache.from_env()
+    pairs = [
+        (
+            benchmark,
+            RunPoint.single(
+                config, "picl", benchmark, n_instructions, preset.seed + index * 7919
+            ),
         )
-    return log_mb
+        for index, benchmark in enumerate(benchmarks)
+    ]
+    results = run_keyed(pairs, jobs=jobs, cache=cache)
+    return {
+        benchmark: (
+            results[benchmark].log_bytes_appended / MB,
+            results[benchmark].log_bytes_scaled_to_paper() / MB,
+        )
+        for benchmark in benchmarks
+    }
 
 
 def format_result(log_mb):
@@ -60,13 +71,14 @@ def format_result(log_mb):
 def main(argv=None):
     """Print the figure for the preset named in argv."""
     argv = argv if argv is not None else sys.argv[1:]
-    preset = get_preset(argv[0] if argv else None)
+    preset_name, jobs = parse_experiment_argv(argv)
+    preset = get_preset(preset_name)
     print_header(
         "Fig 13: PiCL undo log size for eight epochs, at paper scale",
         preset,
         preset.config(),
     )
-    print(format_result(run(preset)))
+    print(format_result(run(preset, jobs=jobs)))
 
 
 if __name__ == "__main__":

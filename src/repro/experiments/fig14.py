@@ -14,9 +14,10 @@ import dataclasses
 import sys
 
 from repro.common.units import GB
+from repro.experiments import parse_experiment_argv
 from repro.experiments.presets import get_preset
 from repro.experiments.report import format_table, geomean, print_header
-from repro.sim.sweep import run_single
+from repro.sim.parallel import ResultCache, RunPoint, run_keyed
 from repro.trace.profiles import BENCHMARKS
 
 SCHEMES = ("journaling", "shadow", "picl")
@@ -33,7 +34,7 @@ PICL_LOG_CAP = 1 * GB
 EPOCHS = 1
 
 
-def run(preset=None, benchmarks=None):
+def run(preset=None, benchmarks=None, jobs=None, cache=None):
     """Returns {benchmark: {scheme: observed_epoch_instructions_at_paper_scale}}."""
     preset = get_preset(preset)
     base = preset.config()
@@ -45,15 +46,27 @@ def run(preset=None, benchmarks=None):
     )
     n_instructions = config.epoch_instructions * EPOCHS
     benchmarks = benchmarks if benchmarks is not None else BENCHMARKS
-    observed = {}
+    if cache is None:
+        cache = ResultCache.from_env()
+    pairs = []
     for index, benchmark in enumerate(benchmarks):
         seed = preset.seed + index * 7919
-        row = {}
         for scheme in SCHEMES:
-            result = run_single(config, scheme, benchmark, n_instructions, seed)
-            row[scheme] = result.observed_epoch_instructions * base.scale
-        observed[benchmark] = row
-    return observed
+            pairs.append(
+                (
+                    (benchmark, scheme),
+                    RunPoint.single(config, scheme, benchmark, n_instructions, seed),
+                )
+            )
+    results = run_keyed(pairs, jobs=jobs, cache=cache)
+    return {
+        benchmark: {
+            scheme: results[(benchmark, scheme)].observed_epoch_instructions
+            * base.scale
+            for scheme in SCHEMES
+        }
+        for benchmark in benchmarks
+    }
 
 
 def format_result(observed):
@@ -77,14 +90,15 @@ def format_result(observed):
 def main(argv=None):
     """Print the figure for the preset named in argv."""
     argv = argv if argv is not None else sys.argv[1:]
-    preset = get_preset(argv[0] if argv else None)
+    preset_name, jobs = parse_experiment_argv(argv)
+    preset = get_preset(preset_name)
     print_header(
         "Fig 14: observed epoch length (M instructions at paper scale) with "
         "a 500M target (higher is better)",
         preset,
         preset.config(),
     )
-    print(format_result(run(preset)))
+    print(format_result(run(preset, jobs=jobs)))
 
 
 if __name__ == "__main__":

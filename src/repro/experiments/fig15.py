@@ -11,9 +11,10 @@ overhead across a representative workload subset.
 
 import sys
 
+from repro.experiments import parse_experiment_argv
 from repro.experiments.presets import get_preset
 from repro.experiments.report import format_table, geomean, print_header
-from repro.sim.sweep import run_single
+from repro.sim.parallel import ResultCache, RunPoint, run_keyed
 
 SCHEMES = ("journaling", "shadow", "frm", "thynvm", "picl")
 
@@ -25,25 +26,46 @@ LLC_MULTIPLIERS = (1, 2, 4, 8)
 BENCHMARKS = ("gcc", "bzip2", "lbm", "gobmk")
 
 
-def run(preset=None, benchmarks=BENCHMARKS, multipliers=LLC_MULTIPLIERS, epochs=None):
+def run(
+    preset=None,
+    benchmarks=BENCHMARKS,
+    multipliers=LLC_MULTIPLIERS,
+    epochs=None,
+    jobs=None,
+    cache=None,
+):
     """Returns {multiplier: {scheme: gmean_normalized_execution}}."""
     preset = get_preset(preset)
-    sweep = {}
+    if cache is None:
+        cache = ResultCache.from_env()
+    pairs = []
     for multiplier in multipliers:
         base = preset.config()
         config = preset.config(
             llc_size_per_core=base.llc_size_per_core * multiplier
         )
         n_instructions = preset.instructions(config, epochs)
-        per_scheme = {scheme: [] for scheme in SCHEMES}
         for index, benchmark in enumerate(benchmarks):
             seed = preset.seed + index * 7919
-            ideal = run_single(config, "ideal", benchmark, n_instructions, seed)
-            for scheme in SCHEMES:
-                result = run_single(
-                    config, scheme, benchmark, n_instructions, seed
+            for scheme in ("ideal",) + SCHEMES:
+                pairs.append(
+                    (
+                        (multiplier, benchmark, scheme),
+                        RunPoint.single(
+                            config, scheme, benchmark, n_instructions, seed
+                        ),
+                    )
                 )
-                per_scheme[scheme].append(result.normalized_to(ideal))
+    results = run_keyed(pairs, jobs=jobs, cache=cache)
+    sweep = {}
+    for multiplier in multipliers:
+        per_scheme = {scheme: [] for scheme in SCHEMES}
+        for benchmark in benchmarks:
+            ideal = results[(multiplier, benchmark, "ideal")]
+            for scheme in SCHEMES:
+                per_scheme[scheme].append(
+                    results[(multiplier, benchmark, scheme)].normalized_to(ideal)
+                )
         sweep[multiplier] = {
             scheme: geomean(values) for scheme, values in per_scheme.items()
         }
@@ -63,7 +85,8 @@ def format_result(sweep, base_llc_kb):
 def main(argv=None):
     """Print the figure for the preset named in argv."""
     argv = argv if argv is not None else sys.argv[1:]
-    preset = get_preset(argv[0] if argv else None)
+    preset_name, jobs = parse_experiment_argv(argv)
+    preset = get_preset(preset_name)
     config = preset.config()
     print_header(
         "Fig 15: gmean execution time normalized to Ideal NVM vs LLC size "
@@ -71,7 +94,7 @@ def main(argv=None):
         preset,
         config,
     )
-    print(format_result(run(preset), config.llc_size_per_core // 1024))
+    print(format_result(run(preset, jobs=jobs), config.llc_size_per_core // 1024))
 
 
 if __name__ == "__main__":

@@ -12,10 +12,11 @@ degrade with write latency; PiCL's sequential, posted logging should not.
 import dataclasses
 import sys
 
+from repro.experiments import parse_experiment_argv
 from repro.experiments.presets import get_preset
 from repro.experiments.report import format_table, geomean, print_header
 from repro.mem.timing import NvmTimings
-from repro.sim.sweep import run_single
+from repro.sim.parallel import ResultCache, RunPoint, run_keyed
 
 SCHEMES = ("journaling", "shadow", "frm", "thynvm", "picl")
 
@@ -25,22 +26,43 @@ WRITE_LATENCIES_NS = (68, 368, 968)
 BENCHMARKS = ("gcc", "bzip2", "lbm", "gobmk")
 
 
-def run(preset=None, benchmarks=BENCHMARKS, latencies=WRITE_LATENCIES_NS, epochs=None):
+def run(
+    preset=None,
+    benchmarks=BENCHMARKS,
+    latencies=WRITE_LATENCIES_NS,
+    epochs=None,
+    jobs=None,
+    cache=None,
+):
     """Returns {write_ns: {scheme: gmean_normalized_execution}}."""
     preset = get_preset(preset)
-    sweep = {}
+    if cache is None:
+        cache = ResultCache.from_env()
+    pairs = []
     for write_ns in latencies:
         config = preset.config(nvm=NvmTimings(row_write_ns=float(write_ns)))
         n_instructions = preset.instructions(config, epochs)
-        per_scheme = {scheme: [] for scheme in SCHEMES}
         for index, benchmark in enumerate(benchmarks):
             seed = preset.seed + index * 7919
-            ideal = run_single(config, "ideal", benchmark, n_instructions, seed)
-            for scheme in SCHEMES:
-                result = run_single(
-                    config, scheme, benchmark, n_instructions, seed
+            for scheme in ("ideal",) + SCHEMES:
+                pairs.append(
+                    (
+                        (write_ns, benchmark, scheme),
+                        RunPoint.single(
+                            config, scheme, benchmark, n_instructions, seed
+                        ),
+                    )
                 )
-                per_scheme[scheme].append(result.normalized_to(ideal))
+    results = run_keyed(pairs, jobs=jobs, cache=cache)
+    sweep = {}
+    for write_ns in latencies:
+        per_scheme = {scheme: [] for scheme in SCHEMES}
+        for benchmark in benchmarks:
+            ideal = results[(write_ns, benchmark, "ideal")]
+            for scheme in SCHEMES:
+                per_scheme[scheme].append(
+                    results[(write_ns, benchmark, scheme)].normalized_to(ideal)
+                )
         sweep[write_ns] = {
             scheme: geomean(values) for scheme, values in per_scheme.items()
         }
@@ -59,14 +81,15 @@ def format_result(sweep):
 def main(argv=None):
     """Print the figure for the preset named in argv."""
     argv = argv if argv is not None else sys.argv[1:]
-    preset = get_preset(argv[0] if argv else None)
+    preset_name, jobs = parse_experiment_argv(argv)
+    preset = get_preset(preset_name)
     print_header(
         "Fig 16: gmean execution time normalized to Ideal NVM vs NVM "
         "row-write latency (lower is better)",
         preset,
         preset.config(),
     )
-    print(format_result(run(preset)))
+    print(format_result(run(preset, jobs=jobs)))
 
 
 if __name__ == "__main__":

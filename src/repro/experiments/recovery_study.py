@@ -20,29 +20,45 @@ from repro.core.availability import (
     effective_throughput,
 )
 from repro.core.recovery import recovery_latency_cycles
+from repro.experiments import parse_experiment_argv
 from repro.experiments.presets import get_preset
 from repro.experiments.report import format_table, print_header
+from repro.sim.parallel import ResultCache, RunPoint, run_keyed
 from repro.sim.simulator import Simulation
-from repro.sim.sweep import run_single
 
 
-def measure(preset=None, benchmark="gcc", gaps=(0, 1, 3, 7)):
+def measure(preset=None, benchmark="gcc", gaps=(0, 1, 3, 7), jobs=None, cache=None):
     """Returns {gap: {overhead, recovery_cycles, recovery_entries,
     availability, effective_throughput}}."""
     preset = get_preset(preset)
-    results = {}
+    if cache is None:
+        cache = ResultCache.from_env()
+    configs = {}
+    pairs = []
     for gap in gaps:
         config = preset.config(track_reference=True)
         config.picl = dataclasses.replace(config.picl, acs_gap=gap)
-        n_instructions = preset.instructions(config)
+        configs[gap] = (config, preset.instructions(config))
+        for scheme in ("ideal", "picl"):
+            pairs.append(
+                (
+                    (gap, scheme),
+                    RunPoint.single(
+                        config, scheme, benchmark, configs[gap][1], preset.seed
+                    ),
+                )
+            )
+    grid = run_keyed(pairs, jobs=jobs, cache=cache)
+    results = {}
+    for gap in gaps:
+        config, n_instructions = configs[gap]
         seed = preset.seed
-
-        ideal = run_single(config, "ideal", benchmark, n_instructions, seed)
-        picl = run_single(config, "picl", benchmark, n_instructions, seed)
-        overhead = picl.normalized_to(ideal) - 1
+        overhead = grid[(gap, "picl")].normalized_to(grid[(gap, "ideal")]) - 1
 
         # Crash near the end of the run, when `gap + 1` epochs of undo
-        # entries are live, and time the recovery scan.
+        # entries are live, and time the recovery scan. The crash harness
+        # needs the live Simulation object afterwards (to recover from the
+        # lost state), so these runs stay serial and uncached.
         crash_sim = Simulation(config, "picl", [benchmark], n_instructions, seed)
         crash_sim.run(crash_at_instructions=int(n_instructions * 0.95))
         crash_sim.system.crash()
@@ -91,14 +107,15 @@ def format_result(results):
 def main(argv=None):
     """Print the study for the preset named in argv."""
     argv = argv if argv is not None else sys.argv[1:]
-    preset = get_preset(argv[0] if argv else None)
+    preset_name, jobs = parse_experiment_argv(argv)
+    preset = get_preset(preset_name)
     print_header(
         "Recovery latency & availability vs ACS-gap (paper §IV-C; "
         "one-day MTBF)",
         preset,
         preset.config(),
     )
-    print(format_result(measure(preset)))
+    print(format_result(measure(preset, jobs=jobs)))
     print()
     print("Longer gaps log more live entries and lengthen recovery 'by a")
     print("few multiples', but availability stays effectively flat — the")

@@ -28,6 +28,8 @@ class MemoryController:
         self.dram_cache = dram_cache
         if dram_cache is not None:
             dram_cache.attach(self)
+        self._demand_fills = self.stats.slot("mem.demand_fills")
+        self._writebacks = self.stats.slot("mem.writebacks")
 
     # ------------------------------------------------------------------
     # demand path (used by the cache hierarchy)
@@ -37,10 +39,10 @@ class MemoryController:
         """Fetch a line for a cache miss; returns (latency, token)."""
         if self.dram_cache is not None:
             latency, token = self.dram_cache.read(line_addr, now)
-            self.stats.add("mem.demand_fills")
+            self._demand_fills.value += 1
             return latency, token
         finish = self.device.read_line(line_addr, now, AccessCategory.DEMAND_READ)
-        self.stats.add("mem.demand_fills")
+        self._demand_fills.value += 1
         return finish - now, self.image.read(line_addr)
 
     def writeback(
@@ -66,7 +68,7 @@ class MemoryController:
                 line_addr, now, category, backpressure=backpressure
             )
             self.image.write(line_addr, token)
-        self.stats.add("mem.writebacks")
+        self._writebacks.value += 1
         return completion, stall
 
     # ------------------------------------------------------------------

@@ -113,6 +113,13 @@ class NvmDevice:
         self.stats = stats if stats is not None else StatCounters()
         self._channels = [_Channel() for _ in range(timings.n_channels)]
         self._row_shift = timings.row_buffer_bytes.bit_length() - 1
+        # Pre-resolved IOPS/byte counters: _count runs on every device op.
+        self._iops_slots = {
+            category: self.stats.slot("nvm.iops.%s" % category)
+            for category in AccessCategory.ALL
+        }
+        self._bytes_written = self.stats.slot("nvm.bytes_written")
+        self._bytes_read = self.stats.slot("nvm.bytes_read")
 
     # ------------------------------------------------------------------
     # channel selection
@@ -137,11 +144,15 @@ class NvmDevice:
     # ------------------------------------------------------------------
 
     def _count(self, category, ops, size_bytes, is_write):
-        self.stats.add("nvm.iops.%s" % category, ops)
-        if is_write:
-            self.stats.add("nvm.bytes_written", size_bytes)
+        cell = self._iops_slots.get(category)
+        if cell is not None:
+            cell.value += ops
         else:
-            self.stats.add("nvm.bytes_read", size_bytes)
+            self.stats.add("nvm.iops.%s" % category, ops)
+        if is_write:
+            self._bytes_written.value += size_bytes
+        else:
+            self._bytes_read.value += size_bytes
 
     # ------------------------------------------------------------------
     # line (random) operations

@@ -9,6 +9,13 @@ grids the experiment harness is built on.
 """
 
 from repro.sim.config import SystemConfig
+from repro.sim.parallel import (
+    ResultCache,
+    RunPoint,
+    resolve_jobs,
+    run_keyed,
+    run_points,
+)
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import SCHEME_NAMES, Simulation, build_scheme
 from repro.sim.sweep import run_matrix, run_mix, run_single
@@ -22,4 +29,9 @@ __all__ = [
     "run_single",
     "run_matrix",
     "run_mix",
+    "RunPoint",
+    "ResultCache",
+    "resolve_jobs",
+    "run_points",
+    "run_keyed",
 ]

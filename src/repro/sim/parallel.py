@@ -1,0 +1,215 @@
+"""Parallel sweep execution and on-disk result caching.
+
+Every figure in the paper is a grid of independent ``(config, scheme,
+benchmarks, n_instructions, seed)`` simulation points — embarrassingly
+parallel work that the seed plumbing already makes order-independent: each
+point builds its own trace from an explicit seed, so running points on
+worker processes produces *bit-identical* results to running them in a
+loop.
+
+Two pieces live here:
+
+* :func:`run_points` — execute a list of :class:`RunPoint` s, fanning out
+  over a ``ProcessPoolExecutor`` when ``jobs > 1``. Results come back in
+  input order regardless of completion order.
+* :class:`ResultCache` — a content-addressed on-disk cache keyed by a
+  hash of the full run description (config included), so re-running a
+  figure with warm cache does no simulation at all. Opt out with
+  ``REPRO_NO_CACHE=1``; relocate with ``REPRO_CACHE_DIR``.
+
+Select the worker count with ``jobs=N``, ``jobs="auto"`` (one per CPU), or
+the ``REPRO_JOBS`` environment variable.
+"""
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.common.errors import ConfigurationError
+from repro.sim.simulator import Simulation
+
+#: Bump when the serialized result format or simulation semantics change
+#: incompatibly; old cache entries then miss instead of returning stale data.
+CACHE_SCHEMA_VERSION = 1
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+@dataclasses.dataclass(frozen=True)
+class RunPoint:
+    """One independent simulation: everything needed to reproduce it."""
+
+    config: object  # SystemConfig
+    scheme_name: str
+    benchmarks: tuple
+    n_instructions: int
+    seed: int
+    shared_memory: bool = False
+
+    @classmethod
+    def single(cls, config, scheme_name, benchmark, n_instructions, seed):
+        """Convenience constructor for the single-core case."""
+        return cls(config, scheme_name, (benchmark,), n_instructions, seed)
+
+    def execute(self):
+        """Run the simulation described by this point."""
+        sim = Simulation(
+            self.config,
+            self.scheme_name,
+            list(self.benchmarks),
+            self.n_instructions,
+            seed=self.seed,
+            shared_memory=self.shared_memory,
+        )
+        return sim.run()
+
+
+def _execute_point(point):
+    # Module-level so ProcessPoolExecutor can pickle it to workers.
+    return point.execute()
+
+
+def resolve_jobs(jobs=None):
+    """Normalize a jobs request to a worker count (>= 1).
+
+    ``None`` defers to the ``REPRO_JOBS`` environment variable (default 1);
+    ``"auto"`` (or 0) means one worker per CPU.
+    """
+    if jobs is None:
+        jobs = os.environ.get("REPRO_JOBS", "1")
+    if isinstance(jobs, str):
+        if jobs.strip().lower() == "auto":
+            jobs = 0
+        else:
+            try:
+                jobs = int(jobs)
+            except ValueError:
+                raise ConfigurationError(
+                    "jobs must be a worker count or 'auto', got %r" % jobs
+                )
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+class ResultCache:
+    """Content-addressed on-disk cache of :class:`SimulationResult` s.
+
+    The key hashes the *entire* run description — every config field
+    (nested dataclasses included), scheme, benchmarks, instruction budget,
+    seed, and a schema version — so any change to what would be simulated
+    changes the key. Entries that fail to load for any reason (truncated
+    file, version skew, hand-edited bytes) are treated as misses and
+    overwritten on the next store.
+    """
+
+    def __init__(self, root):
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def from_env(cls):
+        """The default cache, honoring REPRO_NO_CACHE / REPRO_CACHE_DIR.
+
+        Returns ``None`` (caching disabled) when ``REPRO_NO_CACHE`` is set
+        to anything non-empty.
+        """
+        if os.environ.get("REPRO_NO_CACHE"):
+            return None
+        return cls(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+    def key(self, point):
+        """Stable hex digest identifying a run point."""
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "scheme": point.scheme_name,
+            "benchmarks": list(point.benchmarks),
+            "n_instructions": point.n_instructions,
+            "seed": point.seed,
+            "shared_memory": point.shared_memory,
+            "config": dataclasses.asdict(point.config),
+        }
+        canonical = json.dumps(payload, sort_keys=True, default=repr)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def _path(self, key):
+        return os.path.join(self.root, key[:2], key + ".pkl")
+
+    def load(self, point):
+        """The cached result for ``point``, or None on any kind of miss."""
+        path = self._path(self.key(point))
+        try:
+            with open(path, "rb") as handle:
+                result = pickle.load(handle)
+        except Exception:
+            # Missing, truncated, corrupted, or unpicklable: simulate anew.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, point, result):
+        """Persist a result atomically (write-to-temp then rename)."""
+        path = self._path(self.key(point))
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+
+def run_points(points, jobs=None, cache=None):
+    """Execute every point; returns results in input order.
+
+    Cached points are answered without simulating. The remainder run
+    serially when ``jobs`` resolves to 1 (or only one point is pending),
+    otherwise on a process pool — either way each point's simulation is
+    seeded identically, so the results are bit-identical across modes.
+    """
+    points = list(points)
+    results = [None] * len(points)
+    pending = []
+    for index, point in enumerate(points):
+        if cache is not None:
+            cached = cache.load(point)
+            if cached is not None:
+                results[index] = cached
+                continue
+        pending.append(index)
+    if not pending:
+        return results
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(pending) == 1:
+        computed = [points[index].execute() for index in pending]
+    else:
+        workers = min(jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # map preserves input order regardless of completion order.
+            computed = list(
+                pool.map(_execute_point, [points[index] for index in pending])
+            )
+    for index, result in zip(pending, computed):
+        results[index] = result
+        if cache is not None:
+            cache.store(points[index], result)
+    return results
+
+
+def run_keyed(pairs, jobs=None, cache=None):
+    """Execute ``(key, RunPoint)`` pairs; returns ``{key: result}``."""
+    pairs = list(pairs)
+    results = run_points([point for _key, point in pairs], jobs=jobs, cache=cache)
+    return {key: result for (key, _point), result in zip(pairs, results)}

@@ -122,6 +122,19 @@ class SimulationResult:
         """Raw counter access (see StatCounters)."""
         return self.stats.get(name, default)
 
+    def stat_items(self):
+        """Read-only iteration over every (name, value) counter pair."""
+        return self.stats.items()
+
+    def stats_dict(self):
+        """Every counter as a plain dict.
+
+        This is the canonical serialized form: the result cache stores it,
+        and the determinism tests compare it between parallel and serial
+        runs counter by counter.
+        """
+        return dict(self.stats.items())
+
     def __repr__(self):
         return (
             "SimulationResult(scheme=%s, benchmarks=%s, cycles=%d, instr=%d, "

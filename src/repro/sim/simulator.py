@@ -38,6 +38,34 @@ _CORE_ADDR_STRIDE = 1 << 40
 SCHEME_NAMES = ("ideal", "journaling", "shadow", "frm", "thynvm", "picl")
 
 
+class _TraceCursor:
+    """Positional reader over a trace's chunks.
+
+    Indexes the chunk's parallel gap/addr/write lists directly so the
+    interleaved multi-core loop never materializes a per-reference tuple.
+    """
+
+    __slots__ = ("_chunks", "gaps", "addrs", "writes", "pos", "n")
+
+    def __init__(self, trace):
+        self._chunks = trace.chunks()
+        self.gaps = self.addrs = self.writes = ()
+        self.pos = 0
+        self.n = 0
+
+    def advance(self):
+        """Load the next chunk; returns False when the trace is exhausted."""
+        chunk = next(self._chunks, None)
+        if chunk is None:
+            return False
+        self.gaps = chunk.gaps
+        self.addrs = chunk.addrs
+        self.writes = chunk.writes
+        self.pos = 0
+        self.n = len(chunk.gaps)
+        return True
+
+
 def build_scheme(name, system, config):
     """Instantiate a scheme by name with the config's parameters."""
     if name == "ideal":
@@ -154,23 +182,91 @@ class Simulation:
         if self._ran:
             raise ConfigurationError("a Simulation object runs exactly once")
         self._ran = True
+        if len(self.cores) == 1:
+            self._run_single_core(crash_at_instructions)
+        else:
+            self._run_multi_core(crash_at_instructions)
+        if not self.crashed:
+            stall = self.scheme.finalize(self.system.max_cycle())
+            self.system.broadcast_stall(stall)
+        return self.result()
+
+    def _run_single_core(self, crash_at_instructions):
+        """The dominant case: one core, no interleaving heap needed.
+
+        References are consumed straight from the trace chunks' parallel
+        lists (no per-reference tuple), and the core clock / instruction
+        counters are advanced inline.
+        """
+        system = self.system
+        scheme = self.scheme
+        access = self.hierarchy.access
+        core = self.cores[0]
+        epoch_span = self.config.epoch_instructions
+        next_epoch = epoch_span
+        track = system.track_reference
+        arch_image = system.arch_image
+        total = system.total_instructions
+        crash = crash_at_instructions
+
+        for chunk in self.traces[0].chunks():
+            gaps = chunk.gaps
+            addrs = chunk.addrs
+            writes = chunk.writes
+            for index in range(len(gaps)):
+                gap = gaps[index]
+                cycle = core.cycle + gap
+                core.cycle = cycle
+                core.instructions += gap
+                addr = addrs[index]
+                if writes[index]:
+                    token = system.new_token()
+                    wait = access(0, addr, True, token, cycle)
+                    if track:
+                        arch_image[addr] = token
+                else:
+                    wait = access(0, addr, False, 0, cycle)
+                core.cycle = cycle + wait
+                core.instructions += 1
+                core.mem_stall_cycles += wait
+                total += gap + 1
+                if total >= next_epoch:
+                    system.total_instructions = total
+                    stall = scheme.on_epoch_boundary(core.cycle)
+                    system.broadcast_stall(stall)
+                    next_epoch += epoch_span
+                if crash is not None and total >= crash:
+                    system.total_instructions = total
+                    self.crashed = True
+                    return
+            system.total_instructions = total
+        core.finished = True
+
+    def _run_multi_core(self, crash_at_instructions):
+        """Interleave cores by always advancing the earliest clock."""
         system = self.system
         hierarchy = self.hierarchy
         scheme = self.scheme
         cores = self.cores
         epoch_span = self.config.epoch_instructions * self.config.n_cores
         next_epoch = epoch_span
-        iters = [self._ref_iter(core_id) for core_id in range(len(cores))]
+        cursors = [_TraceCursor(trace) for trace in self.traces]
         heap = [(0, core_id) for core_id in range(len(cores))]
         heapq.heapify(heap)
 
         while heap:
             _cycle, core_id = heapq.heappop(heap)
-            ref = next(iters[core_id], None)
-            if ref is None:
-                cores[core_id].finished = True
-                continue
-            gap, addr, is_write = ref
+            cursor = cursors[core_id]
+            pos = cursor.pos
+            if pos >= cursor.n:
+                if not cursor.advance():
+                    cores[core_id].finished = True
+                    continue
+                pos = 0
+            gap = cursor.gaps[pos]
+            addr = cursor.addrs[pos]
+            is_write = cursor.writes[pos]
+            cursor.pos = pos + 1
             core = cores[core_id]
             core.advance_compute(gap)
             if is_write:
@@ -192,11 +288,6 @@ class Simulation:
                 self.crashed = True
                 break
             heapq.heappush(heap, (core.cycle, core_id))
-
-        if not self.crashed:
-            stall = scheme.finalize(system.max_cycle())
-            system.broadcast_stall(stall)
-        return self.result()
 
     def result(self):
         """Package the current counters into a SimulationResult."""

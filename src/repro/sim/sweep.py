@@ -1,47 +1,67 @@
-"""Sweep helpers: the scheme-by-benchmark grids behind every figure."""
+"""Sweep helpers: the scheme-by-benchmark grids behind every figure.
+
+All helpers accept ``jobs`` (worker-process count, see
+:func:`repro.sim.parallel.resolve_jobs`) and ``cache`` (a
+:class:`repro.sim.parallel.ResultCache` or None). Parallel runs are
+bit-identical to serial ones: every grid point carries its own explicit
+seed, so nothing depends on execution order.
+"""
 
 from repro.sim.config import SystemConfig
-from repro.sim.simulator import Simulation
+from repro.sim.parallel import RunPoint, run_points
 from repro.trace.mixes import MULTIPROGRAM_MIXES
 
 
-def run_single(config, scheme_name, benchmark, n_instructions, seed=1234):
+def run_single(config, scheme_name, benchmark, n_instructions, seed=1234, cache=None):
     """One single-core run; returns its :class:`SimulationResult`."""
-    sim = Simulation(config, scheme_name, [benchmark], n_instructions, seed=seed)
-    return sim.run()
+    point = RunPoint.single(config, scheme_name, benchmark, n_instructions, seed)
+    return run_points([point], jobs=1, cache=cache)[0]
 
 
-def run_matrix(config, scheme_names, benchmarks, n_instructions, seed=1234):
+def run_matrix(
+    config, scheme_names, benchmarks, n_instructions, seed=1234, jobs=None, cache=None
+):
     """Run every (scheme, benchmark) pair.
 
     Returns ``{benchmark: {scheme: SimulationResult}}``. The per-benchmark
     seed is fixed across schemes so every scheme sees the same trace.
     """
-    results = {}
+    keys = []
+    points = []
     for bench_index, benchmark in enumerate(benchmarks):
-        per_scheme = {}
         for scheme_name in scheme_names:
-            per_scheme[scheme_name] = run_single(
-                config,
-                scheme_name,
-                benchmark,
-                n_instructions,
-                seed=seed + bench_index * 7919,
+            keys.append((benchmark, scheme_name))
+            points.append(
+                RunPoint.single(
+                    config,
+                    scheme_name,
+                    benchmark,
+                    n_instructions,
+                    seed + bench_index * 7919,
+                )
             )
-        results[benchmark] = per_scheme
+    flat = run_points(points, jobs=jobs, cache=cache)
+    results = {}
+    for (benchmark, scheme_name), result in zip(keys, flat):
+        results.setdefault(benchmark, {})[scheme_name] = result
     return results
 
 
-def run_mix(config, scheme_name, mix_name, n_instructions, seed=1234):
-    """One eight-core multiprogram run of a Table V mix."""
+def mix_point(config, scheme_name, mix_name, n_instructions, seed=1234):
+    """The :class:`RunPoint` for an eight-core Table V mix run."""
     benchmarks = MULTIPROGRAM_MIXES[mix_name]
     if config.n_cores != len(benchmarks):
         raise ValueError(
             "mix %s needs %d cores, config has %d"
             % (mix_name, len(benchmarks), config.n_cores)
         )
-    sim = Simulation(config, scheme_name, benchmarks, n_instructions, seed=seed)
-    return sim.run()
+    return RunPoint(config, scheme_name, tuple(benchmarks), n_instructions, seed)
+
+
+def run_mix(config, scheme_name, mix_name, n_instructions, seed=1234, cache=None):
+    """One eight-core multiprogram run of a Table V mix."""
+    point = mix_point(config, scheme_name, mix_name, n_instructions, seed)
+    return run_points([point], jobs=1, cache=cache)[0]
 
 
 def default_config(scale=64, **overrides):

@@ -130,6 +130,97 @@ class TestIteration:
         assert cache.resident_count() == len(cache) == 1
 
 
+class TestRunningCounters:
+    """resident_count/dirty_count are O(1) bookkeeping, not scans.
+
+    These tests pin the bookkeeping against every path that can change it:
+    insert, remove, eviction, invalidate_all, and — the subtle one —
+    external ``line.dirty`` flips on lines already resident (the hierarchy
+    and the ACS engine both do this).
+    """
+
+    def test_dirty_count_tracks_external_flips(self):
+        cache = make()
+        line = CacheLine(0)
+        cache.insert(line)
+        assert cache.dirty_count() == 0
+        line.dirty = True
+        assert cache.dirty_count() == 1
+        line.dirty = True  # idempotent
+        assert cache.dirty_count() == 1
+        line.dirty = False
+        assert cache.dirty_count() == 0
+
+    def test_insert_already_dirty_line(self):
+        cache = make()
+        line = CacheLine(0)
+        line.dirty = True
+        cache.insert(line)
+        assert cache.dirty_count() == 1
+
+    def test_removed_line_flips_do_not_corrupt_count(self):
+        cache = make()
+        line = CacheLine(0)
+        cache.insert(line)
+        line.dirty = True
+        removed = cache.remove(0)
+        assert cache.dirty_count() == 0
+        removed.dirty = False  # no longer resident; must not go to -1
+        assert cache.dirty_count() == 0
+
+    def test_evicted_line_leaves_count(self):
+        cache = make(size=1024, assoc=2)
+        stride = 8 * 64
+        first = CacheLine(0)
+        cache.insert(first)
+        first.dirty = True
+        cache.insert(CacheLine(stride))
+        victim = cache.insert(CacheLine(2 * stride))
+        assert victim is first
+        assert cache.dirty_count() == 0
+        victim.dirty = False  # detached; count stays untouched
+        assert cache.dirty_count() == 0
+
+    def test_invalidate_all_resets_and_detaches(self):
+        cache = make()
+        line = CacheLine(0)
+        cache.insert(line)
+        line.dirty = True
+        cache.invalidate_all()
+        assert cache.dirty_count() == 0
+        assert cache.resident_count() == 0
+        line.dirty = False
+        assert cache.dirty_count() == 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=15),
+                st.sampled_from(["touch", "dirty", "clean", "remove"]),
+            ),
+            max_size=80,
+        )
+    )
+    def test_counts_match_iteration(self, ops):
+        cache = make(size=512, assoc=2)
+        for n, op in ops:
+            addr = n * 64
+            line = cache.lookup(addr)
+            if op == "remove":
+                cache.remove(addr)
+                continue
+            if line is None:
+                line = CacheLine(addr)
+                cache.insert(line)
+                line = cache.lookup(addr)
+            if op == "dirty":
+                line.dirty = True
+            elif op == "clean":
+                line.dirty = False
+        assert cache.resident_count() == len(list(cache.iter_lines()))
+        assert cache.dirty_count() == len(list(cache.dirty_lines()))
+
+
 class TestLruProperty:
     @given(st.lists(st.integers(min_value=0, max_value=15), max_size=60))
     def test_capacity_never_exceeded(self, accesses):

@@ -89,3 +89,73 @@ class TestMergeReset:
         stats.add("b")
         stats.add("a")
         assert repr(stats) == "StatCounters(a=1, b=1)"
+
+
+class TestSlots:
+    def test_slot_value_visible_through_get(self):
+        stats = StatCounters()
+        cell = stats.slot("hits")
+        cell.value += 3
+        assert stats.get("hits") == 3
+        assert stats.snapshot() == {"hits": 3}
+
+    def test_slot_adopts_existing_counter_value(self):
+        stats = StatCounters()
+        stats.add("hits", 5)
+        cell = stats.slot("hits")
+        assert cell.value == 5
+        cell.value += 1
+        assert stats.get("hits") == 6
+
+    def test_same_name_returns_same_slot(self):
+        stats = StatCounters()
+        assert stats.slot("x") is stats.slot("x")
+
+    def test_add_and_set_reach_slots(self):
+        stats = StatCounters()
+        cell = stats.slot("x")
+        stats.add("x", 2)
+        assert cell.value == 2
+        stats.set("x", 9)
+        assert cell.value == 9
+
+    def test_zero_slot_invisible(self):
+        # A never-incremented slot must not invent a counter: snapshots
+        # and membership keep the created-on-first-use semantics.
+        stats = StatCounters()
+        stats.slot("idle")
+        assert stats.snapshot() == {}
+        assert "idle" not in stats
+
+    def test_items_spans_counters_and_slots(self):
+        stats = StatCounters()
+        stats.add("plain", 1)
+        stats.slot("slotted").value = 2
+        assert dict(stats.items()) == {"plain": 1, "slotted": 2}
+
+    def test_merge_from_includes_slots(self):
+        a = StatCounters()
+        b = StatCounters()
+        a.add("x", 1)
+        b.slot("x").value = 2
+        b.slot("y").value = 3
+        b.add("z", 4)
+        a.merge_from(b)
+        assert a.get("x") == 3
+        assert a.get("y") == 3
+        assert a.get("z") == 4
+
+    def test_reset_zeroes_but_keeps_slots(self):
+        stats = StatCounters()
+        cell = stats.slot("x")
+        cell.value = 5
+        stats.reset()
+        assert stats.snapshot() == {}
+        assert cell.value == 0
+        cell.value += 1
+        assert stats.get("x") == 1
+
+    def test_prefix_applies_to_slots(self):
+        stats = StatCounters(prefix="llc.")
+        stats.slot("hits").value = 2
+        assert stats.snapshot() == {"llc.hits": 2}

@@ -1,6 +1,14 @@
-"""Pytest configuration: make tests/helpers importable everywhere."""
+"""Pytest configuration: make tests/helpers importable everywhere.
+
+The on-disk result cache is disabled for the whole suite so test runs are
+hermetic (no ``.repro_cache`` directory appears in the repo, and no test
+can be satisfied by a stale cached result). Cache tests construct their
+own ``ResultCache`` against a tmp_path explicitly.
+"""
 
 import os
 import sys
 
 sys.path.insert(0, os.path.dirname(__file__))
+
+os.environ.setdefault("REPRO_NO_CACHE", "1")

@@ -19,6 +19,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig99"])
 
+    def test_experiment_takes_jobs(self):
+        args = build_parser().parse_args(["fig09", "--jobs", "4"])
+        assert args.jobs == "4"
+
+    def test_jobs_defaults_to_none(self):
+        args = build_parser().parse_args(["fig09"])
+        assert args.jobs is None
+
 
 class TestMain:
     def test_no_args_lists(self, capsys):
