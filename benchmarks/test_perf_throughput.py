@@ -1,74 +1,107 @@
 """Simulator throughput microbenchmark (refs/sec).
 
-Not a paper figure: this pins the raw speed of the per-reference
-simulation loop so hot-path regressions show up as numbers, not vibes.
-Three single-core workloads cover the interesting paths — Ideal NVM
-(pure hierarchy, no scheme work), PiCL on a cache-friendly trace, and
-PiCL on a write-heavy streaming trace that exercises the undo log and
-ACS hard.
+Not a paper figure: this pins the raw speed of the simulation loop so
+hot-path regressions show up as numbers, not vibes. Three single-core
+workloads cover the interesting paths — Ideal NVM (pure hierarchy, no
+scheme work), PiCL on a cache-friendly trace, and PiCL on a write-heavy
+streaming trace that exercises the undo log and ACS hard — plus one
+eight-core PiCL mix run that times the interleaved multi-core loop (which
+takes none of the single-core batching fast paths).
 
-The harness is fixed (scale=128, 4 epochs, seed=20180101) so runs are
-comparable across commits on the same machine; the archived table in
-``results/perf_throughput.txt`` keeps the seed-commit baseline alongside
-the current numbers. Absolute refs/sec is machine-dependent, so the
-assertions only check the run completed sanely — read the archived
-speedup column for the perf story.
+The harness is fixed (scale=128, seed=20180101; 4 epochs single-core,
+2 system epochs for the mix) so runs are comparable across commits on the
+same machine; the archived table in ``results/perf_throughput.txt`` keeps
+the previous-PR baseline alongside the current numbers. Each workload is
+run twice and the faster pass is kept: shared hardware swings individual
+runs by ±10-20% (frequency scaling, co-tenancy) and the noise is strictly
+additive, so best-of-N is the stable comparison statistic. The baseline
+column was produced under the same protocol (see ``PR1_BASELINE``).
+Absolute refs/sec is machine-dependent, so the assertions only check the
+run completed sanely — read the archived speedup column for the perf
+story. The ``overall`` row aggregates the three single-core workloads
+only, keeping it comparable with the table's history.
 """
 
 import time
 
 from repro.sim.config import SystemConfig
-from repro.sim.sweep import run_single
+from repro.sim.sweep import run_mix, run_single
 
-#: (scheme, benchmark) points measured, in order.
-WORKLOADS = [("ideal", "gcc"), ("picl", "gcc"), ("picl", "lbm")]
+#: (scheme, benchmark-or-mix) points measured, in order. "W2" is the
+#: eight-core multiprogram mix row (see repro.trace.mixes).
+WORKLOADS = [("ideal", "gcc"), ("picl", "gcc"), ("picl", "lbm"), ("picl", "W2")]
 
-#: refs/sec at the growth seed (commit 927c3e6) with this same harness on
-#: the reference machine — the "before" column of the archived table.
-SEED_BASELINE = {
-    ("ideal", "gcc"): 209633,
-    ("picl", "gcc"): 162984,
-    ("picl", "lbm"): 145722,
-    "overall": 166026,
+#: Mix rows (timed and archived, excluded from the single-core overall).
+MIX_WORKLOADS = {("picl", "W2")}
+
+#: refs/sec at the previous PR (commit ba41785) with this same harness
+#: (same ``measure()`` best-of-2 protocol), re-measured on the current
+#: machine via a worktree at that commit — two rounds interleaved with
+#: runs of the current code so both sides saw the same machine
+#: conditions, best row kept. This is the "before" column of the
+#: archived table. (The table archived *at* ba41785 was taken on
+#: different hardware and is not comparable.) ``overall`` is
+#: single-core refs over the summed best-row times.
+PR1_BASELINE = {
+    ("ideal", "gcc"): 425547,
+    ("picl", "gcc"): 361865,
+    ("picl", "lbm"): 260431,
+    ("picl", "W2"): 242952,
+    "overall": 325041,
 }
 
 
-def measure():
-    """Run every workload once; returns (rows, overall refs/sec)."""
+def measure(passes=2):
+    """Run every workload ``passes`` times, keep each row's fastest pass.
+
+    Returns (rows, overall refs/sec). ``overall`` covers the single-core
+    rows only (refs summed over their best-pass wall times); the mix row
+    has its own rate and baseline.
+    """
     config = SystemConfig().scaled(128)
     n = config.epoch_instructions * 4
+    config8 = SystemConfig().scaled(128, n_cores=8)
+    n8 = config8.epoch_instructions * 2
     rows = []
     total_refs = 0
     total_time = 0.0
-    for scheme, benchmark in WORKLOADS:
-        start = time.perf_counter()
-        result = run_single(config, scheme, benchmark, n, seed=20180101)
-        elapsed = time.perf_counter() - start
+    for scheme, workload in WORKLOADS:
+        best = None
+        for _ in range(passes):
+            start = time.perf_counter()
+            if (scheme, workload) in MIX_WORKLOADS:
+                result = run_mix(config8, scheme, workload, n8, seed=20180101)
+            else:
+                result = run_single(config, scheme, workload, n, seed=20180101)
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best:
+                best = elapsed
         refs = result.stat("loads") + result.stat("stores")
-        rows.append((scheme, benchmark, refs, elapsed, refs / elapsed))
-        total_refs += refs
-        total_time += elapsed
+        rows.append((scheme, workload, refs, best, refs / best))
+        if (scheme, workload) not in MIX_WORKLOADS:
+            total_refs += refs
+            total_time += best
     return rows, total_refs / total_time
 
 
 def format_result(rows, overall):
     lines = [
         "%-8s %-8s %10s %9s %12s %10s %9s"
-        % ("scheme", "bench", "refs", "time", "refs/sec", "seed", "speedup")
+        % ("scheme", "bench", "refs", "time", "refs/sec", "pr1", "speedup")
     ]
-    for scheme, benchmark, refs, elapsed, rate in rows:
-        seed_rate = SEED_BASELINE[(scheme, benchmark)]
+    for scheme, workload, refs, elapsed, rate in rows:
+        base_rate = PR1_BASELINE[(scheme, workload)]
         lines.append(
             "%-8s %-8s %10d %8.3fs %12.0f %10d %8.2fx"
-            % (scheme, benchmark, refs, elapsed, rate, seed_rate, rate / seed_rate)
+            % (scheme, workload, refs, elapsed, rate, base_rate, rate / base_rate)
         )
     lines.append(
         "%-8s %-8s %10s %9s %12.0f %10d %8.2fx"
         % (
-            "overall", "", "", "",
+            "overall", "1-core", "", "",
             overall,
-            SEED_BASELINE["overall"],
-            overall / SEED_BASELINE["overall"],
+            PR1_BASELINE["overall"],
+            overall / PR1_BASELINE["overall"],
         )
     )
     return "\n".join(lines)
@@ -78,13 +111,18 @@ def test_perf_throughput(benchmark, archive):
     rows, overall = benchmark.pedantic(measure, rounds=1, iterations=1)
     archive(
         "perf_throughput",
-        "Simulator throughput (scale=128, 4 epochs, seed=20180101; "
-        "seed column = commit 927c3e6 baseline)",
+        "Simulator throughput (scale=128, seed=20180101; 4 epochs 1-core, "
+        "2 system epochs 8-core mix; best of 2 passes per row; pr1 column "
+        "= commit ba41785 re-measured on this machine with the same "
+        "protocol, 2 interleaved rounds; overall = single-core rows only)",
         format_result(rows, overall),
     )
-    # Sanity, not speed: the same fixed workload must have run end to end.
-    for scheme, benchmark_name, refs, _elapsed, rate in rows:
-        assert refs > 100_000, (scheme, benchmark_name)
+    # Sanity, not speed: the same fixed workloads must have run end to end.
+    for scheme, workload, refs, _elapsed, rate in rows:
+        if (scheme, workload) in MIX_WORKLOADS:
+            assert refs > 500_000, (scheme, workload)
+        else:
+            assert refs > 100_000, (scheme, workload)
         assert rate > 0
     # Both gcc runs see the identical trace, so identical reference counts.
     assert rows[0][2] == rows[1][2]

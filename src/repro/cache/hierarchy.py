@@ -48,6 +48,18 @@ class EvictionSink:
         """Default sink behaviour: stores need no extra work."""
         return 0
 
+    def on_store_repeat(self, core, line, count, now):
+        """Batch hook for ``count`` repeated stores that are scheme no-ops.
+
+        Contract (see CacheHierarchy.access_repeat): return 0 after
+        applying bookkeeping that is *provably identical* to ``count``
+        consecutive ``on_store`` calls on this line — which also means no
+        stall and no state change a later access could observe differently.
+        Return None (without mutating anything) to make the caller replay
+        the stores one by one through ``on_store``.
+        """
+        return 0
+
 
 class CacheHierarchy:
     """Private L1/L2 per core plus a shared, inclusive LLC."""
@@ -136,35 +148,109 @@ class CacheHierarchy:
             wait = int(fill_latency * self.store_miss_factor) + stall
         wait += self.sink.on_store(core, line, now)
         line.token = token
-        line.dirty = True
+        # Inlined ``line.dirty = True`` (see CacheLine.dirty): stores are
+        # hot enough that the property call shows up in profiles.
+        if not line._dirty:
+            line._dirty = True
+            home = line._home
+            if home is not None:
+                home._dirty += 1
         line.state = LineState.MODIFIED
         self._stores.value += 1
         return wait
+
+    def access_repeat(self, core, line_addr, n_reads, n_writes, last_token, now):
+        """Coalesce a run of repeated accesses to one line; None = replay.
+
+        The single-core interpreter calls this for the tail of a same-line
+        run after the head reference went through :meth:`access` exactly.
+        The fast path is taken only when every tail access is provably an
+        L1 hit that changes nothing observable step by step:
+
+        * the line is resident in L1 *and already MRU*, so LRU order is
+          untouched (the head access made it MRU; a concurrent core could
+          have back-invalidated it, which the probe catches);
+        * reads then only bump hit/load counters and cost ``hit_latency``;
+        * writes additionally require the line to be dirty and MODIFIED
+          (so ``dirty``/``state`` assignments are no-ops) and the scheme
+          to batch them as no-ops via ``sink.on_store_repeat`` — PiCL's
+          same-epoch stores, a tracked table entry for the redo schemes.
+          ``last_token`` (the run's final store token) is then applied;
+          intermediate tokens are unobservable because nothing else runs
+          between the coalesced stores.
+
+        Returns the total blocked cycles (``(n_reads + n_writes) *
+        hit_latency``), or None when the caller must replay the tail
+        through the exact path. Nothing is mutated on the None path.
+        """
+        l1 = self._l1[core]
+        # Inlined SetAssocCache.mru_lookup: resident *and* already MRU.
+        line = l1._tags.get(line_addr)
+        if line is None:
+            return None
+        if l1._sets[(line_addr >> l1._line_shift) & l1._set_mask][0] is not line:
+            return None
+        if n_writes:
+            if not line._dirty or line.state != LineState.MODIFIED:
+                return None
+            if self.sink.on_store_repeat(core, line, n_writes, now) is None:
+                return None
+            line.token = last_token
+            self._stores.value += n_writes
+        self._l1_hits.value += n_reads + n_writes
+        self._loads.value += n_reads
+        return (n_reads + n_writes) * l1.hit_latency
 
     def _fill_to_l1(self, core, line_addr, now):
         """Bring a line into the core's L1; returns (line, latency, stall)."""
         self._l1_misses.value += 1
         l2 = self._l2[core]
         stall = 0
-        source = l2.lookup(line_addr)
+        # Inline tag probe + LRU touch (same shape as the L1 fast path).
+        source = l2._tags.get(line_addr)
         if source is not None:
+            cache_set = l2._sets[(line_addr >> l2._line_shift) & l2._set_mask]
+            if cache_set[0] is not source:
+                cache_set.remove(source)
+                cache_set.insert(0, source)
             latency = l2.hit_latency
             self._l2_hits.value += 1
         else:
             self._l2_misses.value += 1
             source, latency, stall = self._fill_to_l2(core, line_addr, now)
         line = source.copy_fill(line_addr)
-        victim = self._l1[core].insert(line)
-        if victim is not None and victim._dirty:
-            self._merge_down(victim, l2, line_addr_level="l2")
-        return line, latency + self._l1[core].hit_latency, stall
+        l1 = self._l1[core]
+        # Inlined SetAssocCache.insert (this runs on every L1 miss). The
+        # dirty count is adjusted at pop time, before any merge can flip
+        # the victim's dirty bit — same order as the out-of-line insert.
+        cache_set = l1._sets[(line_addr >> l1._line_shift) & l1._set_mask]
+        cache_set.insert(0, line)
+        l1._tags[line_addr] = line
+        line._home = l1
+        if line._dirty:
+            l1._dirty += 1
+        if len(cache_set) > l1.assoc:
+            victim = cache_set.pop()
+            del l1._tags[victim.addr]
+            victim._home = None
+            l1._evictions.value += 1
+            if victim._dirty:
+                l1._dirty -= 1
+                self._merge_down(victim, l2, line_addr_level="l2")
+        return line, latency + l1.hit_latency, stall
 
     def _fill_to_l2(self, core, line_addr, now):
         """Bring a line into the core's L2; returns (line, latency, stall)."""
-        llc_line = self.llc.lookup(line_addr)
+        llc = self.llc
         stall = 0
+        # Inline tag probe + LRU touch (same shape as the L1 fast path).
+        llc_line = llc._tags.get(line_addr)
         if llc_line is not None:
-            latency = self.llc.hit_latency
+            cache_set = llc._sets[(line_addr >> llc._line_shift) & llc._set_mask]
+            if cache_set[0] is not llc_line:
+                cache_set.remove(llc_line)
+                cache_set.insert(0, llc_line)
+            latency = llc.hit_latency
             self._llc_hits.value += 1
             if llc_line.owner is not None and llc_line.owner != core:
                 self._snoop_invalidate(llc_line)
@@ -177,29 +263,60 @@ class CacheHierarchy:
                 self.stats.add("llc.fills_from_log")
             llc_line = CacheLine(line_addr, token=token)
             stall += self._insert_llc(llc_line, now)
-            latency = self.llc.hit_latency + mem_latency
+            latency = llc.hit_latency + mem_latency
         llc_line.owner = core
         line = llc_line.copy_fill(line_addr)
-        victim = self._l2[core].insert(line)
-        if victim is not None:
+        l2 = self._l2[core]
+        # Inlined SetAssocCache.insert; dirty count adjusted at pop time,
+        # before the L1 merge can re-dirty the victim (see _fill_to_l1).
+        cache_set = l2._sets[(line_addr >> l2._line_shift) & l2._set_mask]
+        cache_set.insert(0, line)
+        l2._tags[line_addr] = line
+        line._home = l2
+        if line._dirty:
+            l2._dirty += 1
+        if len(cache_set) > l2.assoc:
+            victim = cache_set.pop()
+            del l2._tags[victim.addr]
+            victim._home = None
+            if victim._dirty:
+                l2._dirty -= 1
+            l2._evictions.value += 1
             dropped = self._l1[core].remove(victim.addr)
             if dropped is not None and dropped._dirty:
                 self._merge_lines(victim, dropped)
             if victim._dirty:
-                target = self.llc.lookup(victim.addr, touch=False)
+                target = llc._tags.get(victim.addr)
                 if target is None:
                     raise SimulationError(
                         "inclusion violated: L2 victim %#x absent from LLC"
                         % victim.addr
                     )
                 self._merge_lines(target, victim)
-        return line, latency + self._l2[core].hit_latency, stall
+        return line, latency + l2.hit_latency, stall
 
     def _insert_llc(self, line, now):
         """Insert into the LLC, handling the victim; returns stall cycles."""
-        victim = self.llc.insert(line)
-        if victim is None:
+        llc = self.llc
+        addr = line.addr
+        # Inlined SetAssocCache.insert; the back-invalidation below may
+        # fold fresher private data into the victim (flipping its dirty
+        # bit), so the dirty count is adjusted at pop time, exactly like
+        # the out-of-line insert did.
+        cache_set = llc._sets[(addr >> llc._line_shift) & llc._set_mask]
+        cache_set.insert(0, line)
+        llc._tags[addr] = line
+        line._home = llc
+        if line._dirty:
+            llc._dirty += 1
+        if len(cache_set) <= llc.assoc:
             return 0
+        victim = cache_set.pop()
+        del llc._tags[victim.addr]
+        victim._home = None
+        if victim._dirty:
+            llc._dirty -= 1
+        llc._evictions.value += 1
         self._back_invalidate(victim)
         if victim._dirty:
             self._llc_dirty_evictions.value += 1
@@ -233,8 +350,24 @@ class CacheHierarchy:
         owner = llc_victim.owner
         if owner is None:
             return
-        l1_copy = self._l1[owner].remove(llc_victim.addr)
-        l2_copy = self._l2[owner].remove(llc_victim.addr)
+        addr = llc_victim.addr
+        # Inlined SetAssocCache.remove ×2: this runs on every LLC eviction
+        # and the private copies are usually long gone, so the common case
+        # is two dict probes and nothing else.
+        l1 = self._l1[owner]
+        l1_copy = l1._tags.pop(addr, None)
+        if l1_copy is not None:
+            l1._sets[(addr >> l1._line_shift) & l1._set_mask].remove(l1_copy)
+            l1_copy._home = None
+            if l1_copy._dirty:
+                l1._dirty -= 1
+        l2 = self._l2[owner]
+        l2_copy = l2._tags.pop(addr, None)
+        if l2_copy is not None:
+            l2._sets[(addr >> l2._line_shift) & l2._set_mask].remove(l2_copy)
+            l2_copy._home = None
+            if l2_copy._dirty:
+                l2._dirty -= 1
         # L1 holds the freshest data; fall back to L2.
         if l1_copy is not None and l1_copy._dirty:
             self._merge_lines(llc_victim, l1_copy)

@@ -71,10 +71,19 @@ class CacheLine:
         Fills propagate the EID tag along with the data so that the private
         caches can detect cross-epoch stores without consulting the LLC.
         """
-        line = CacheLine(addr, token=self.token)
+        # Built via __new__ with every slot assigned directly: this runs on
+        # every fill, and skipping __init__ avoids double-writing the slots
+        # the copy overrides.
+        line = CacheLine.__new__(CacheLine)
+        line.addr = addr
+        line.state = LineState.EXCLUSIVE
+        line._dirty = False
+        line.token = self.token
         line.eid = self.eid
-        if self.sub_eids is not None:
-            line.sub_eids = list(self.sub_eids)
+        line.owner = None
+        sub_eids = self.sub_eids
+        line.sub_eids = list(sub_eids) if sub_eids is not None else None
+        line._home = None
         return line
 
     def __repr__(self):

@@ -13,7 +13,8 @@ Commands map one-to-one onto the experiment modules plus a few utilities:
 Runs are cached on disk (``.repro_cache/``; see repro.sim.parallel), so a
 repeated figure at the same preset costs no simulation. ``--jobs``
 defaults to the ``REPRO_JOBS`` environment variable, then 1; results are
-bit-identical at any jobs count.
+bit-identical at any jobs count. ``--profile`` wraps the command in
+cProfile and prints the 25 hottest functions by cumulative time.
 """
 
 import argparse
@@ -74,6 +75,12 @@ def build_parser():
             help="worker processes for simulation points: a count, or "
             "'auto' for one per CPU (default: $REPRO_JOBS, then 1)",
         )
+        sub.add_argument(
+            "--profile",
+            action="store_true",
+            help="run under cProfile and print the top 25 functions "
+            "by cumulative time (in-process runs only; use --jobs 1)",
+        )
     return parser
 
 
@@ -93,6 +100,18 @@ def main(argv=None):
     command_args = [args.preset] if args.preset else []
     if getattr(args, "jobs", None):
         command_args += ["--jobs", args.jobs]
+    if getattr(args, "profile", False):
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            command_main(command_args)
+        finally:
+            profiler.disable()
+            pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
+        return 0
     command_main(command_args)
     return 0
 

@@ -17,7 +17,13 @@ from repro.common.units import is_power_of_two
 
 
 class BloomFilter:
-    """A k-hash bloom filter over line addresses, backed by one big int."""
+    """A k-hash bloom filter over line addresses, backed by 64-bit words.
+
+    Word-backed rather than one big int: ``add``/``might_contain`` run on
+    every cross-epoch store and every dirty eviction, and setting a bit in
+    a single 4096-bit Python int copies the whole thing each time. The
+    two-hash default (the paper's configuration) is fully unrolled.
+    """
 
     def __init__(self, n_bits=4096, n_hashes=2):
         if not is_power_of_two(n_bits):
@@ -27,7 +33,7 @@ class BloomFilter:
         self.n_bits = n_bits
         self.n_hashes = n_hashes
         self._mask = n_bits - 1
-        self._bits = 0
+        self._words = [0] * ((n_bits + 63) >> 6)
         self._population = 0
 
     def _positions(self, addr):
@@ -39,15 +45,19 @@ class BloomFilter:
 
     def add(self, addr):
         """Set the address's bits."""
-        # Inlined _positions: add/might_contain run on every cross-epoch
-        # store and every dirty eviction, so skip the generator machinery.
         h1 = (addr * 2654435761) & 0xFFFFFFFF
         h2 = ((addr >> 6) * 40503 + 0x9E3779B9) & 0xFFFFFFFF
         mask = self._mask
-        bits = self._bits
-        for i in range(self.n_hashes):
-            bits |= 1 << ((h1 + i * h2) & mask)
-        self._bits = bits
+        words = self._words
+        if self.n_hashes == 2:
+            pos = h1 & mask
+            words[pos >> 6] |= 1 << (pos & 63)
+            pos = (h1 + h2) & mask
+            words[pos >> 6] |= 1 << (pos & 63)
+        else:
+            for i in range(self.n_hashes):
+                pos = (h1 + i * h2) & mask
+                words[pos >> 6] |= 1 << (pos & 63)
         self._population += 1
 
     def might_contain(self, addr):
@@ -55,15 +65,24 @@ class BloomFilter:
         h1 = (addr * 2654435761) & 0xFFFFFFFF
         h2 = ((addr >> 6) * 40503 + 0x9E3779B9) & 0xFFFFFFFF
         mask = self._mask
-        bits = self._bits
+        words = self._words
+        if self.n_hashes == 2:
+            pos = h1 & mask
+            if not (words[pos >> 6] >> (pos & 63)) & 1:
+                return False
+            pos = (h1 + h2) & mask
+            return (words[pos >> 6] >> (pos & 63)) & 1 != 0
         for i in range(self.n_hashes):
-            if not (bits >> ((h1 + i * h2) & mask)) & 1:
+            pos = (h1 + i * h2) & mask
+            if not (words[pos >> 6] >> (pos & 63)) & 1:
                 return False
         return True
 
     def clear(self):
         """Reset the filter (done on each undo-buffer flush)."""
-        self._bits = 0
+        words = self._words
+        for i in range(len(words)):
+            words[i] = 0
         self._population = 0
 
     @property
@@ -73,4 +92,7 @@ class BloomFilter:
 
     def saturation(self):
         """Fraction of bits set (diagnostic for sizing studies)."""
-        return bin(self._bits).count("1") / self.n_bits
+        set_bits = 0
+        for word in self._words:
+            set_bits += bin(word).count("1")
+        return set_bits / self.n_bits

@@ -105,6 +105,12 @@ class PiclScheme(CrashConsistencyScheme):
         self.io_buffer = None
         self._store_seq = 0
         self._cross_epoch_stores = self.stats.slot("picl.cross_epoch_stores")
+        # Both conditions are fixed for the scheme's lifetime; the store
+        # hot path tests the combined flag instead of re-deriving them.
+        self._plain_stores = (
+            self.config.log_max_bytes is None
+            and not self.granularity.sub_block_mode
+        )
 
     def attach_io_buffer(self, io_buffer):
         """Register an IoConsistencyBuffer to be released on persists."""
@@ -117,6 +123,10 @@ class PiclScheme(CrashConsistencyScheme):
     def on_store(self, core, line, now):
         """Detect cross-epoch stores and capture undo data from the cache."""
         self._store_seq += 1
+        # Cheap same-epoch same-line store: the dominant case at 64 B
+        # granularity — nothing to log, no cap to police.
+        if self._plain_stores and line.eid == self.epochs.system_eid:
+            return 0
         stall = 0
         if self.config.log_max_bytes is not None:
             # Must happen before the undo entry is created: a forced
@@ -145,6 +155,24 @@ class PiclScheme(CrashConsistencyScheme):
         if llc_line is not line:
             self.granularity.apply_store(llc_line, system_eid, self._store_seq)
         return stall
+
+    def on_store_repeat(self, core, line, count, now):
+        """Batch repeated same-epoch stores (coalescing fast path).
+
+        Safe only when every one of the ``count`` stores is provably the
+        cheap branch of :meth:`on_store`: no hard log cap (so no pressure
+        relief can fire), line-granularity tracking (sub-block tracking
+        rotates the store sequence across sub-blocks, so repeats are not
+        uniform no-ops), and the line already tagged with the executing
+        epoch (``needs_undo`` returns None). Only the store sequence
+        advances, exactly as ``count`` individual calls would.
+        """
+        if not self._plain_stores:
+            return None
+        if line.eid != self.epochs.system_eid:
+            return None
+        self._store_seq += count
+        return 0
 
     def _relieve_log_pressure(self, now):
         """Force a persist when a hard-capped log is nearly full.

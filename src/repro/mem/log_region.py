@@ -81,6 +81,9 @@ class LogRegion:
         self.max_capacity_bytes = max_capacity_bytes
         self._superblocks = []
         self._open_block = None
+        # Appends run on every flushed undo entry; pre-resolve the cells.
+        self._entries_appended = self.stats.slot("log.entries_appended")
+        self._bytes_appended = self.stats.slot("log.bytes_appended")
 
     # ------------------------------------------------------------------
     # appending
@@ -91,13 +94,15 @@ class LogRegion:
         size = self.entry_bytes
         if self.used_bytes + size > self.capacity_bytes:
             self._request_extension(size)
-        if self._open_block is None or len(self._open_block) >= self.entries_per_superblock:
-            self._open_block = SuperBlock()
-            self._superblocks.append(self._open_block)
-        self._open_block.add(entry)
+        block = self._open_block
+        if block is None or len(block) >= self.entries_per_superblock:
+            block = SuperBlock()
+            self._open_block = block
+            self._superblocks.append(block)
+        block.add(entry)
         self.used_bytes += size
-        self.stats.add("log.entries_appended")
-        self.stats.add("log.bytes_appended", size)
+        self._entries_appended.value += 1
+        self._bytes_appended.value += size
 
     def append_many(self, entries):
         """Append a batch of entries (one undo-buffer flush)."""

@@ -120,6 +120,15 @@ class NvmDevice:
         }
         self._bytes_written = self.stats.slot("nvm.bytes_written")
         self._bytes_read = self.stats.slot("nvm.bytes_read")
+        # Hot-path constants: 64 B line service times, the read-interference
+        # cap, the write-queue limit, and (for the common single-channel
+        # config) the channel itself, so the demand path skips the address
+        # mapping and the per-call timing recomputation.
+        self._line_read_occupancy = timings.line_read_cycles(64)
+        self._line_write_occupancy = timings.line_write_cycles(64)
+        self._interference_cap = timings.row_write_cycles
+        self._queue_limit = timings.write_queue_limit_cycles
+        self._only_channel = self._channels[0] if len(self._channels) == 1 else None
 
     # ------------------------------------------------------------------
     # channel selection
@@ -160,10 +169,20 @@ class NvmDevice:
 
     def read_line(self, addr, now, category=AccessCategory.DEMAND_READ, line_size=64):
         """Synchronous line read; returns completion time."""
-        occupancy = self.timings.line_read_cycles(line_size)
-        channel = self._channels[self.channel_for(addr)]
-        finish = channel.read(now, occupancy, self.timings.row_write_cycles)
-        self._count(category, 1, line_size, is_write=False)
+        if line_size == 64:
+            occupancy = self._line_read_occupancy
+        else:
+            occupancy = self.timings.line_read_cycles(line_size)
+        channel = self._only_channel
+        if channel is None:
+            channel = self._channels[self.channel_for(addr)]
+        finish = channel.read(now, occupancy, self._interference_cap)
+        cell = self._iops_slots.get(category)
+        if cell is not None:
+            cell.value += 1
+        else:
+            self.stats.add("nvm.iops.%s" % category, 1)
+        self._bytes_read.value += line_size
         return finish
 
     def write_line(
@@ -175,15 +194,23 @@ class NvmDevice:
         backpressure=True,
     ):
         """Posted line write; returns (completion_time, issuer_stall)."""
-        occupancy = self.timings.line_write_cycles(line_size)
-        channel = self._channels[self.channel_for(addr)]
+        if line_size == 64:
+            occupancy = self._line_write_occupancy
+        else:
+            occupancy = self.timings.line_write_cycles(line_size)
+        channel = self._only_channel
+        if channel is None:
+            channel = self._channels[self.channel_for(addr)]
         if backpressure:
-            finish, stall = channel.post_write(
-                now, occupancy, self.timings.write_queue_limit_cycles
-            )
+            finish, stall = channel.post_write(now, occupancy, self._queue_limit)
         else:
             finish, stall = channel.enqueue_write(now, occupancy), 0
-        self._count(category, 1, line_size, is_write=True)
+        cell = self._iops_slots.get(category)
+        if cell is not None:
+            cell.value += 1
+        else:
+            self.stats.add("nvm.iops.%s" % category, 1)
+        self._bytes_written.value += line_size
         return finish, stall
 
     def log_read_line(self, addr, now, line_size=64, backpressure=True):

@@ -69,6 +69,10 @@ class NvmTimings:
         self.write_queue_limit_cycles = cycles_from_ns(
             self.write_queue_limit_ns, self.cpu_ghz
         )
+        # The hot demand path reads/writes whole 64 B lines millions of
+        # times per run; cache their service times once.
+        self._line_read_cycles_64 = self.row_read_cycles + self.transfer_cycles(64)
+        self._line_write_cycles_64 = self.row_write_cycles + self.transfer_cycles(64)
 
     def transfer_cycles(self, size_bytes):
         """Cycles the link is occupied transferring ``size_bytes``."""
@@ -77,10 +81,14 @@ class NvmTimings:
 
     def line_read_cycles(self, line_size=64):
         """Service time of one isolated (closed-page) line read."""
+        if line_size == 64:
+            return self._line_read_cycles_64
         return self.row_read_cycles + self.transfer_cycles(line_size)
 
     def line_write_cycles(self, line_size=64):
         """Service time of one isolated (closed-page) line write."""
+        if line_size == 64:
+            return self._line_write_cycles_64
         return self.row_write_cycles + self.transfer_cycles(line_size)
 
     def bulk_write_cycles(self, size_bytes):

@@ -73,6 +73,47 @@ def _execute_point(point):
     return point.execute()
 
 
+def _execute_batch(batch):
+    # One task per *trace group*: every point in the batch drives the same
+    # reference stream, so the worker's per-process trace memo (see
+    # repro.trace.synthetic.make_trace) hits for all but the first point.
+    return [point.execute() for point in batch]
+
+
+#: Largest trace-affinity batch shipped to one worker as a single task.
+#: Caps load imbalance when a figure has few distinct traces but many
+#: schemes/configs per trace.
+_BATCH_CAP = 8
+
+
+def _trace_batches(points, indices):
+    """Group pending point indices into same-trace batches (input order).
+
+    The batch key is exactly what determines the generated stream:
+    benchmarks, instruction budget, seed, sharing mode, and the config
+    scale (``scale_profile`` shrinks working sets, changing addresses).
+    Scheduling a group onto one worker turns the figure-sweep pattern —
+    six schemes over one stream — into one generation plus five memo hits
+    instead of six generations scattered across workers.
+    """
+    groups = {}
+    for index in indices:
+        point = points[index]
+        key = (
+            point.benchmarks,
+            point.n_instructions,
+            point.seed,
+            point.shared_memory,
+            getattr(point.config, "scale", None),
+        )
+        groups.setdefault(key, []).append(index)
+    batches = []
+    for group in groups.values():
+        for start in range(0, len(group), _BATCH_CAP):
+            batches.append(group[start : start + _BATCH_CAP])
+    return batches
+
+
 def resolve_jobs(jobs=None):
     """Normalize a jobs request to a worker count (>= 1).
 
@@ -178,6 +219,9 @@ def run_points(points, jobs=None, cache=None):
     serially when ``jobs`` resolves to 1 (or only one point is pending),
     otherwise on a process pool — either way each point's simulation is
     seeded identically, so the results are bit-identical across modes.
+    Pool tasks are same-trace batches (see :func:`_trace_batches`) so each
+    worker generates a given reference stream once and memo-replays it for
+    the other schemes at that point.
     """
     points = list(points)
     results = [None] * len(points)
@@ -193,18 +237,25 @@ def run_points(points, jobs=None, cache=None):
         return results
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(pending) == 1:
-        computed = [points[index].execute() for index in pending]
-    else:
-        workers = min(jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            # map preserves input order regardless of completion order.
-            computed = list(
-                pool.map(_execute_point, [points[index] for index in pending])
-            )
-    for index, result in zip(pending, computed):
-        results[index] = result
-        if cache is not None:
-            cache.store(points[index], result)
+        for index in pending:
+            result = points[index].execute()
+            results[index] = result
+            if cache is not None:
+                cache.store(points[index], result)
+        return results
+    # Ship same-trace points to one worker as a batch so the worker-local
+    # trace memo hits; results land back by index, preserving input order.
+    batches = _trace_batches(points, pending)
+    workers = min(jobs, len(batches))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        computed_batches = pool.map(
+            _execute_batch, [[points[index] for index in batch] for batch in batches]
+        )
+        for batch, computed in zip(batches, computed_batches):
+            for index, result in zip(batch, computed):
+                results[index] = result
+                if cache is not None:
+                    cache.store(points[index], result)
     return results
 
 

@@ -19,6 +19,7 @@ reference snapshot it must match.
 """
 
 import heapq
+from bisect import bisect_left
 
 from repro.baselines import Frm, IdealNvm, Journaling, ShadowPaging, ThyNvm
 from repro.cache.hierarchy import CacheHierarchy
@@ -172,11 +173,6 @@ class Simulation:
     # the main loop
     # ------------------------------------------------------------------
 
-    def _ref_iter(self, core_id):
-        for chunk in self.traces[core_id].chunks():
-            for ref in zip(chunk.gaps, chunk.addrs, chunk.writes):
-                yield ref
-
     def run(self, crash_at_instructions=None):
         """Drive the traces to completion (or to the crash point)."""
         if self._ran:
@@ -192,15 +188,37 @@ class Simulation:
         return self.result()
 
     def _run_single_core(self, crash_at_instructions):
-        """The dominant case: one core, no interleaving heap needed.
+        """The dominant case: one core, batched over boundary-free segments.
 
-        References are consumed straight from the trace chunks' parallel
-        lists (no per-reference tuple), and the core clock / instruction
-        counters are advanced inline.
+        Each chunk is segmented at the epoch/crash boundaries up front
+        (via its cumulative instruction counts, ``bisect`` against the
+        next boundary), so the inner loop runs check-free: no per-reference
+        epoch or crash comparison. Within a segment, a run of consecutive
+        references to one line (``chunk.run_ends``) is dispatched through
+        :meth:`repro.cache.hierarchy.CacheHierarchy.access_repeat` — the
+        coalescing fast path that charges ``count × hit_latency`` when the
+        repeats provably cannot change cache or scheme state, and returns
+        None (forcing exact one-by-one replay) when they could. Instruction
+        counters are synced at segment boundaries only; nothing observes
+        them in between. Results are bit-identical to the per-reference
+        loop (asserted by tests/sim/test_batching.py).
         """
         system = self.system
         scheme = self.scheme
-        access = self.hierarchy.access
+        hierarchy = self.hierarchy
+        access = hierarchy.access
+        access_repeat = hierarchy.access_repeat
+        # The L1 read-hit path of ``access`` is inlined below (same shape,
+        # same counters) — it is the single most common operation of a run,
+        # and the call itself is measurable at this volume.
+        l1 = hierarchy._l1[0]
+        l1_tags = l1._tags
+        l1_sets = l1._sets
+        l1_shift = l1._line_shift
+        l1_mask = l1._set_mask
+        l1_latency = l1.hit_latency
+        l1_hits = hierarchy._l1_hits
+        loads = hierarchy._loads
         core = self.cores[0]
         epoch_span = self.config.epoch_instructions
         next_epoch = epoch_span
@@ -210,36 +228,92 @@ class Simulation:
         crash = crash_at_instructions
 
         for chunk in self.traces[0].chunks():
+            chunk.ensure_metadata()
             gaps = chunk.gaps
             addrs = chunk.addrs
             writes = chunk.writes
-            for index in range(len(gaps)):
-                gap = gaps[index]
-                cycle = core.cycle + gap
-                core.cycle = cycle
-                core.instructions += gap
-                addr = addrs[index]
-                if writes[index]:
-                    token = system.new_token()
-                    wait = access(0, addr, True, token, cycle)
-                    if track:
-                        arch_image[addr] = token
-                else:
-                    wait = access(0, addr, False, 0, cycle)
-                core.cycle = cycle + wait
-                core.instructions += 1
-                core.mem_stall_cycles += wait
-                total += gap + 1
+            cum = chunk.cum_instructions
+            run_ends = chunk.run_ends
+            wcum = chunk.write_cum
+            n = len(gaps)
+            base = total
+            index = 0
+            while index < n:
+                # The segment ends at (and includes) the first reference
+                # whose retirement crosses the next epoch or crash point.
+                limit = next_epoch - base
+                if crash is not None and crash - base < limit:
+                    limit = crash - base
+                seg_end = bisect_left(cum, limit, index) + 1
+                if seg_end > n:
+                    seg_end = n
+                while index < seg_end:
+                    gap = gaps[index]
+                    cycle = core.cycle + gap
+                    addr = addrs[index]
+                    if writes[index]:
+                        token = system._next_token
+                        system._next_token = token + 1
+                        wait = access(0, addr, True, token, cycle)
+                        if track:
+                            arch_image[addr] = token
+                    else:
+                        line = l1_tags.get(addr)
+                        if line is not None:
+                            cache_set = l1_sets[(addr >> l1_shift) & l1_mask]
+                            if cache_set[0] is not line:
+                                cache_set.remove(line)
+                                cache_set.insert(0, line)
+                            l1_hits.value += 1
+                            loads.value += 1
+                            wait = l1_latency
+                        else:
+                            wait = access(0, addr, False, 0, cycle)
+                    core.cycle = cycle + wait
+                    core.mem_stall_cycles += wait
+                    run_end = run_ends[index]
+                    if run_end > seg_end:
+                        run_end = seg_end
+                    index += 1
+                    if run_end > index:
+                        # Tail of a same-line run: after the access above
+                        # the line is L1-resident at MRU, so the repeats
+                        # may coalesce. Tokens are only consumed (and the
+                        # reference image only updated) once the fast path
+                        # commits to the whole tail.
+                        k = run_end - index
+                        kw = wcum[run_end - 1] - wcum[index - 1]
+                        if kw:
+                            last_token = system._next_token + kw - 1
+                            wait = access_repeat(
+                                0, addr, k - kw, kw, last_token, core.cycle
+                            )
+                            if wait is None:
+                                continue
+                            system._next_token += kw
+                            if track:
+                                arch_image[addr] = last_token
+                        else:
+                            wait = access_repeat(0, addr, k, 0, 0, core.cycle)
+                            if wait is None:
+                                continue
+                        core.cycle += (cum[run_end - 1] - cum[index - 1]) - k + wait
+                        core.mem_stall_cycles += wait
+                        index = run_end
+                total = base + cum[index - 1]
                 if total >= next_epoch:
                     system.total_instructions = total
+                    core.instructions = total
                     stall = scheme.on_epoch_boundary(core.cycle)
                     system.broadcast_stall(stall)
                     next_epoch += epoch_span
                 if crash is not None and total >= crash:
                     system.total_instructions = total
+                    core.instructions = total
                     self.crashed = True
                     return
             system.total_instructions = total
+            core.instructions = total
         core.finished = True
 
     def _run_multi_core(self, crash_at_instructions):

@@ -18,7 +18,13 @@ from repro.trace.profiles import (
     WorkloadProfile,
     get_profile,
 )
-from repro.trace.synthetic import SyntheticTrace, TraceChunk, make_trace
+from repro.trace.synthetic import (
+    MaterializedTrace,
+    SyntheticTrace,
+    TraceChunk,
+    clear_trace_memo,
+    make_trace,
+)
 from repro.trace.tracefile import (
     RecordedTrace,
     load_trace,
@@ -32,8 +38,10 @@ __all__ = [
     "FIG12_BENCHMARKS",
     "get_profile",
     "SyntheticTrace",
+    "MaterializedTrace",
     "TraceChunk",
     "make_trace",
+    "clear_trace_memo",
     "MULTIPROGRAM_MIXES",
     "mix_names",
     "mix_profiles",

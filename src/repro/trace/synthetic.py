@@ -18,7 +18,23 @@ Three address components are mixed per the profile's fractions:
 
 Hot zipfian lines are deliberately scattered across the address space so
 temporal and spatial locality stay independent knobs.
+
+Two speed facilities live alongside the generator:
+
+* **Batch metadata** (:meth:`TraceChunk.ensure_metadata`): cumulative
+  instruction counts and same-line run lengths, computed lazily per chunk
+  with numpy. The batched single-core interpreter uses them to place epoch
+  and crash boundaries without per-reference checks and to coalesce
+  same-line runs (see :mod:`repro.sim.simulator`).
+* **Cross-scheme memoization** (:func:`make_trace`): figure sweeps drive
+  the identical stream through every scheme at each (benchmark, config,
+  seed) point, so generated chunks are memoized per process, keyed on
+  ``(profile, n_instructions, seed, addr_base)``. Set
+  ``REPRO_NO_TRACE_MEMO=1`` to force fresh generation every time.
 """
+
+import collections
+import os
 
 import numpy as np
 
@@ -32,19 +48,82 @@ CHUNK_REFS = 8192
 _MAX_ZIPF_RANKS = 1 << 16
 
 
+def _run_ends_array(addrs):
+    """Exclusive end of the same-line run starting at each index (numpy).
+
+    ``breaks[i]`` is True when the run cannot extend past reference ``i``;
+    ``run_ends[i]`` is then the nearest break at or after ``i``, plus one.
+    """
+    n = len(addrs)
+    if n == 1:
+        return np.ones(1, dtype=np.int64)
+    breaks = np.empty(n, dtype=bool)
+    breaks[:-1] = addrs[1:] != addrs[:-1]
+    breaks[-1] = True
+    ends = np.where(breaks, np.arange(1, n + 1), n)
+    return np.minimum.accumulate(ends[::-1])[::-1]
+
+
 class TraceChunk:
     """One generated batch of references, as parallel Python lists."""
 
-    __slots__ = ("gaps", "addrs", "writes", "instructions")
+    __slots__ = (
+        "gaps",
+        "addrs",
+        "writes",
+        "instructions",
+        "cum_instructions",
+        "run_ends",
+        "write_cum",
+        "_meta_arrays",
+    )
 
-    def __init__(self, gaps, addrs, writes, instructions):
+    def __init__(self, gaps, addrs, writes, instructions, meta_arrays=None):
         self.gaps = gaps
         self.addrs = addrs
         self.writes = writes
         self.instructions = instructions
+        #: Inclusive cumulative instruction count per reference (lazy).
+        self.cum_instructions = None
+        #: Per-index end (exclusive) of the same-line run starting there (lazy).
+        self.run_ends = None
+        #: Inclusive cumulative store count per reference (lazy).
+        self.write_cum = None
+        #: Precomputed (cum, run_ends, write_cum) numpy arrays from the
+        #: memo's frozen storage; ensure_metadata converts instead of
+        #: recomputing (None for freshly generated chunks).
+        self._meta_arrays = meta_arrays
 
     def __len__(self):
         return len(self.gaps)
+
+    def ensure_metadata(self):
+        """Compute the batch-interpreter metadata once (idempotent).
+
+        ``cum_instructions[i]`` is the chunk-relative instruction count
+        after reference ``i`` retires (``sum(gaps[:i+1]) + i + 1``), used
+        to segment the chunk at epoch/crash boundaries. ``run_ends[i]`` is
+        the exclusive end of the longest stretch ``i..run_ends[i]-1`` of
+        references to one line address; ``write_cum[i]`` counts stores in
+        ``0..i`` so a run tail's load/store split is O(1). Memoized chunks
+        carry the arrays precomputed (see :class:`_FrozenChunk`) and only
+        pay the list conversion here.
+        """
+        if self.cum_instructions is not None:
+            return self
+        if self._meta_arrays is not None:
+            cum, run_ends, write_cum = self._meta_arrays
+            self.cum_instructions = cum.tolist()
+            self.run_ends = run_ends.tolist()
+            self.write_cum = write_cum.tolist()
+            return self
+        gaps = np.asarray(self.gaps, dtype=np.int64)
+        self.cum_instructions = np.cumsum(gaps + 1).tolist()
+        writes = np.asarray(self.writes, dtype=np.int64)
+        self.write_cum = np.cumsum(writes).tolist()
+        addrs = np.asarray(self.addrs, dtype=np.int64)
+        self.run_ends = _run_ends_array(addrs).tolist()
+        return self
 
 
 def _zipf_cdf(n_ranks, alpha):
@@ -91,6 +170,18 @@ class SyntheticTrace:
 
     def chunks(self):
         """Yield :class:`TraceChunk` batches until the instruction budget ends."""
+        for gaps, addrs, writes, instructions in self._array_chunks():
+            yield TraceChunk(
+                gaps.tolist(), addrs.tolist(), writes.tolist(), instructions
+            )
+
+    def _array_chunks(self):
+        """Yield ``(gaps, addrs, writes, instructions)`` numpy batches.
+
+        The memo freezes these arrays directly (no round trip through
+        Python lists); :meth:`chunks` is the list-delivering wrapper the
+        simulator consumes.
+        """
         profile = self.profile
         mem_ratio = profile.mem_ratio
         while self._instructions_emitted < self.n_instructions:
@@ -110,9 +201,7 @@ class SyntheticTrace:
                 writes = writes[:cut]
                 instructions = int(gaps.sum()) + cut
             self._instructions_emitted += instructions
-            yield TraceChunk(
-                gaps.tolist(), addrs.tolist(), writes.tolist(), instructions
-            )
+            yield gaps, addrs, writes, instructions
 
     def _make_addresses(self, n, writes):
         profile = self.profile
@@ -166,10 +255,133 @@ class SyntheticTrace:
         return self.addr_base + line_ids * LINE_SIZE
 
 
+class _FrozenChunk:
+    """Memoized chunk storage: compact numpy arrays, nothing boxed.
+
+    Holding generated streams as Python lists would keep millions of boxed
+    ints resident for the life of the process, and that residency measurably
+    degrades allocator/cache locality for *every subsequent simulation*
+    (~20% on the throughput harness). Numpy arrays are contiguous, 8 bytes
+    per element, and invisible to the GC, so a frozen trace costs only its
+    raw bytes. The batch-interpreter metadata is computed here once, on the
+    arrays; :meth:`thaw` delivers a list-backed :class:`TraceChunk` whose
+    lists are transient (they die with the chunk after it is consumed).
+    """
+
+    __slots__ = (
+        "gaps",
+        "addrs",
+        "writes",
+        "instructions",
+        "cum",
+        "run_ends",
+        "write_cum",
+    )
+
+    def __init__(self, gaps, addrs, writes, instructions):
+        self.gaps = gaps
+        self.addrs = addrs
+        self.writes = writes
+        self.instructions = instructions
+        self.cum = np.cumsum(gaps + 1)
+        self.write_cum = np.cumsum(writes.astype(np.int64))
+        self.run_ends = _run_ends_array(addrs)
+
+    def __len__(self):
+        return len(self.gaps)
+
+    def thaw(self):
+        """Materialize the list-backed chunk the simulator consumes."""
+        return TraceChunk(
+            self.gaps.tolist(),
+            self.addrs.tolist(),
+            self.writes.tolist(),
+            self.instructions,
+            meta_arrays=(self.cum, self.run_ends, self.write_cum),
+        )
+
+
+class MaterializedTrace:
+    """A replayable trace over memoized frozen chunks.
+
+    API-compatible with :class:`SyntheticTrace` for every consumer (the
+    simulator, calibration, record/replay); unlike the generator its
+    :meth:`chunks` can be drained any number of times. Memo hits share the
+    frozen storage; each replay thaws its own transient chunks.
+    """
+
+    def __init__(self, profile, n_instructions, addr_base, chunks):
+        self.profile = profile
+        self.n_instructions = n_instructions
+        self.addr_base = addr_base
+        self._chunks = chunks
+
+    @property
+    def expected_refs(self):
+        """Same estimate SyntheticTrace reports (consumers see no change)."""
+        return int(self.n_instructions * self.profile.mem_ratio)
+
+    def chunks(self):
+        """Yield freshly thawed :class:`TraceChunk` batches, in order."""
+        for frozen in self._chunks:
+            yield frozen.thaw()
+
+
+#: Per-trace memoization cap: streams expected to exceed this many
+#: references are generated fresh (never held resident) to bound memory.
+_TRACE_MEMO_MAX_REFS = 2_000_000
+
+#: Total references held across all memoized traces; least-recently-used
+#: streams are evicted past this.
+_TRACE_MEMO_TOTAL_REFS = 4_000_000
+
+#: key -> (chunk list, reference count), LRU order. Per-process: parallel
+#: sweep workers each keep their own memo (see repro.sim.parallel, which
+#: groups same-trace points onto one worker so the memo actually hits).
+_trace_memo = collections.OrderedDict()
+
+
+def clear_trace_memo():
+    """Drop every memoized trace (tests, memory pressure)."""
+    _trace_memo.clear()
+
+
 def make_trace(profile, n_instructions, seed=0, addr_base=0):
-    """Build a :class:`SyntheticTrace` for ``profile``.
+    """Build the reference stream for ``profile``.
 
     ``addr_base`` offsets the whole working set; multiprogram runs give each
     core a disjoint base so programs never share lines (SPEC rate-style).
+
+    Generated chunks are memoized per process under
+    ``(profile, n_instructions, seed, addr_base)``: every figure drives the
+    identical stream through six schemes, so five of the six generations
+    (and their batch-metadata passes) are saved. The stream itself is
+    bit-identical either way — memo hits replay the very chunks a fresh
+    generator would emit. ``REPRO_NO_TRACE_MEMO=1`` disables memoization;
+    traces expected to exceed ``_TRACE_MEMO_MAX_REFS`` references bypass it
+    to bound resident memory.
     """
-    return SyntheticTrace(profile, n_instructions, seed=seed, addr_base=addr_base)
+    if os.environ.get("REPRO_NO_TRACE_MEMO"):
+        return SyntheticTrace(profile, n_instructions, seed=seed, addr_base=addr_base)
+    if n_instructions > 0 and int(n_instructions * profile.mem_ratio) > _TRACE_MEMO_MAX_REFS:
+        return SyntheticTrace(profile, n_instructions, seed=seed, addr_base=addr_base)
+    key = (profile, n_instructions, seed, addr_base)
+    entry = _trace_memo.get(key)
+    if entry is None:
+        source = SyntheticTrace(
+            profile, n_instructions, seed=seed, addr_base=addr_base
+        )
+        chunks = [
+            _FrozenChunk(gaps, addrs, writes, instructions)
+            for gaps, addrs, writes, instructions in source._array_chunks()
+        ]
+        refs = sum(len(chunk) for chunk in chunks)
+        _trace_memo[key] = (chunks, refs)
+        total = sum(held for _chunks, held in _trace_memo.values())
+        while total > _TRACE_MEMO_TOTAL_REFS and len(_trace_memo) > 1:
+            _evicted, (_dropped, held) = _trace_memo.popitem(last=False)
+            total -= held
+    else:
+        chunks, _refs = entry
+        _trace_memo.move_to_end(key)
+    return MaterializedTrace(profile, n_instructions, addr_base, chunks)

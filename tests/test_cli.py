@@ -27,6 +27,14 @@ class TestParser:
         args = build_parser().parse_args(["fig09"])
         assert args.jobs is None
 
+    def test_experiment_takes_profile(self):
+        args = build_parser().parse_args(["fig09", "--profile"])
+        assert args.profile is True
+
+    def test_profile_defaults_to_off(self):
+        args = build_parser().parse_args(["fig09"])
+        assert args.profile is False
+
 
 class TestMain:
     def test_no_args_lists(self, capsys):
@@ -48,6 +56,14 @@ class TestMain:
         assert main(["table3"]) == 0
         out = capsys.readouterr().out
         assert "BRAM" in out
+
+    def test_table3_profiled(self, capsys):
+        assert main(["table3", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "BRAM" in out
+        # cProfile's report header and the sort we requested.
+        assert "cumulative" in out
+        assert "function calls" in out
 
     def test_every_command_is_wired(self):
         from repro.cli import _experiment_commands
