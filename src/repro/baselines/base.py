@@ -37,6 +37,8 @@ class CrashConsistencyScheme:
         self.hierarchy = system.hierarchy
         self.stats = system.stats
         self.commit_id = 0
+        #: Armed crash plan (None outside fault injection — see repro.fault).
+        self.fault_plan = None
         system.hierarchy.attach_sink(self)
 
     # ------------------------------------------------------------------

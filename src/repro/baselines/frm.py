@@ -100,6 +100,9 @@ class Frm(CrashConsistencyScheme):
     def recover(self):
         """Apply the current epoch's undo entries backward (oldest wins)."""
         image = dict(self.controller.snapshot_image())
+        # Torn superblock writes / bit flips in the log must be *detected*
+        # (RecoveryError), never silently applied as undo data.
+        self.log.verify()
         applied = 0
         for entry in self.log.iter_entries_backward():
             image[entry.addr] = entry.token

@@ -103,6 +103,8 @@ class CacheHierarchy:
             self.stats,
         )
         self.sink = EvictionSink(controller)
+        #: Armed crash plan (None outside fault injection — see repro.fault).
+        self.fault_plan = None
         # Pre-resolved counters for the per-access hot path.
         self._loads = self.stats.slot("loads")
         self._stores = self.stats.slot("stores")
@@ -320,6 +322,11 @@ class CacheHierarchy:
         self._back_invalidate(victim)
         if victim._dirty:
             self._llc_dirty_evictions.value += 1
+            if self.fault_plan is not None:
+                # Crash window: the victim is evicted (private copies
+                # folded in, SRAM contents doomed) but the scheme's
+                # bloom-guarded log write / write-back has not happened.
+                self.fault_plan.notify("llc_eviction")
             return self.sink.write_back(victim.addr, victim.token, now)
         self._llc_clean_evictions.value += 1
         return 0

@@ -35,10 +35,15 @@ def _experiment_commands():
         fig15,
         fig16,
         recovery_study,
+        recovery_validation,
         table3,
     )
 
     return {
+        "fault-sweep": (
+            recovery_validation.main,
+            "crash-injection recovery validation matrix",
+        ),
         "fig09": (fig09.main, "single-core execution time (Fig 9)"),
         "fig10": (fig10.main, "8-core multiprogram mixes (Fig 10)"),
         "fig11": (fig11.main, "commits per epoch interval (Fig 11)"),
@@ -81,6 +86,19 @@ def build_parser():
             help="run under cProfile and print the top 25 functions "
             "by cumulative time (in-process runs only; use --jobs 1)",
         )
+        sub.add_argument(
+            "--verbose",
+            action="store_true",
+            help="print result-cache statistics (hits, misses, corrupt "
+            "entries quarantined) after the command",
+        )
+        if name == "fault-sweep":
+            sub.add_argument(
+                "--full",
+                action="store_true",
+                help="run the widened crash matrix (more occurrences, "
+                "boundary offsets, and corruption injectors)",
+            )
     return parser
 
 
@@ -100,6 +118,9 @@ def main(argv=None):
     command_args = [args.preset] if args.preset else []
     if getattr(args, "jobs", None):
         command_args += ["--jobs", args.jobs]
+    if getattr(args, "full", False):
+        command_args.append("--full")
+    verbose = getattr(args, "verbose", False)
     if getattr(args, "profile", False):
         import cProfile
         import pstats
@@ -111,9 +132,21 @@ def main(argv=None):
         finally:
             profiler.disable()
             pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
+            if verbose:
+                _print_cache_stats()
         return 0
-    command_main(command_args)
+    try:
+        command_main(command_args)
+    finally:
+        if verbose:
+            _print_cache_stats()
     return 0
+
+
+def _print_cache_stats():
+    from repro.sim.parallel import ResultCache
+
+    print(ResultCache.summary(), file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -29,6 +29,8 @@ class AcsEngine:
         self.controller = controller
         self.stats = stats
         self.sub_block_mode = sub_block_mode
+        #: Armed crash plan (None outside fault injection — see repro.fault).
+        self.fault_plan = None
 
     def _matches(self, line, lo_eid, hi_eid):
         if self.sub_block_mode and line.sub_eids is not None:
@@ -59,6 +61,12 @@ class AcsEngine:
                 )
                 line.dirty = False
                 writes += 1
+                if self.fault_plan is not None:
+                    # Crash window: this scan has written some of the
+                    # epoch's lines in place but the PersistedEID marker
+                    # has not advanced; recovery must still rebuild the
+                    # *previous* checkpoint from the (durable) undo log.
+                    self.fault_plan.notify("acs_scan")
         return writes, 0
 
     def scan(self, target_eid, now):

@@ -199,6 +199,11 @@ class PiclScheme(CrashConsistencyScheme):
     def write_back(self, line_addr, token, now):
         """In-place write, preceded by a buffer flush on a bloom hit."""
         stall = self.buffer.eviction_hazard(line_addr, now)
+        if self.fault_plan is not None:
+            # Crash window: the hazard flush (if any) made the undo
+            # entries durable, but the in-place data write has not been
+            # issued — NVM still holds the old value.
+            self.fault_plan.notify("pre_inplace")
         _completion, extra = self.controller.writeback(
             line_addr, token, now + stall, category=AccessCategory.WRITEBACK
         )

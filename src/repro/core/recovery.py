@@ -48,15 +48,30 @@ class RecoveryReport:
         )
 
 
-def recover_image(nvm_image, log_region, persisted_eid):
+def recover_image(nvm_image, log_region, persisted_eid, apply_limit=None, verify=True):
     """Rebuild the memory image of checkpoint ``persisted_eid``.
 
     ``nvm_image`` is the functional NVM contents at crash time (a dict);
     the returned dict is the recovered image. The input is not mutated.
+
+    ``verify`` (default on) checks each examined superblock's checksum and
+    header before trusting it — including the block that triggers the
+    early stop, since a corrupted ``max_valid_till`` could otherwise
+    silently skip live entries. Corruption raises
+    :class:`~repro.common.errors.RecoveryError`; blocks beyond the early
+    stop hold only expired entries and are never read, matching §IV-B.
+
+    ``apply_limit`` stops the scan after that many entries have been
+    applied — it models a *crash during recovery itself* (each applied
+    entry is one in-place NVM write). Recovery is restartable: rerunning
+    from the partially-applied image yields the same final image, which
+    the fault harness asserts.
     """
     image = dict(nvm_image)
     report = RecoveryReport(persisted_eid)
     for block in log_region.iter_superblocks_backward():
+        if verify:
+            block.verify()
         if block.max_valid_till <= persisted_eid:
             report.stopped_early = True
             break
@@ -66,6 +81,8 @@ def recover_image(nvm_image, log_region, persisted_eid):
             if entry.covers(persisted_eid):
                 image[entry.addr] = entry.token
                 report.entries_applied += 1
+                if apply_limit is not None and report.entries_applied >= apply_limit:
+                    return image, report
     return image, report
 
 

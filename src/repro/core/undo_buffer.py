@@ -40,6 +40,8 @@ class UndoBuffer:
         self.stats = stats if stats is not None else StatCounters()
         self._entries = []
         self._pending_addrs = set()
+        #: Armed crash plan (None outside fault injection — see repro.fault).
+        self.fault_plan = None
         self._entries_created = self.stats.slot("undo.entries_created")
 
     def __len__(self):
@@ -101,6 +103,15 @@ class UndoBuffer:
         """
         if not self._entries:
             return 0
+        if self.fault_plan is not None:
+            torn = self.fault_plan.flush_tear(len(self._entries))
+            if torn is not None:
+                # Torn flush: only a prefix of the burst reaches NVM
+                # before the power fails. Safe by construction — the
+                # in-place writes these entries guard are ordered after
+                # the flush, so none of them has been issued yet.
+                self.log_region.append_many(self._entries[:torn])
+                self.fault_plan.trip("undo_flush")
         self.log_region.append_many(self._entries)
         n_entries = len(self._entries)
         burst = min(self.flush_bytes, n_entries * self.log_region.entry_bytes)

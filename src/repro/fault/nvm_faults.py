@@ -1,0 +1,91 @@
+"""NVM corruption injectors for the durable log region.
+
+Each injector mutates a live :class:`repro.mem.log_region.LogRegion` the
+way a failing NVM DIMM would — *behind the bookkeeping's back*, so the
+superblock checksums sealed at append time no longer match the stored
+bytes. The safety condition the harness asserts is detection, not
+tolerance: recovery over a corrupted log must raise
+:class:`repro.common.errors.RecoveryError` rather than rebuild a wrong
+image and call it a checkpoint.
+
+All injectors return a short description of what they did, and raise
+:class:`~repro.common.errors.ConfigurationError` when the log holds
+nothing corruptible (so a test that silently injected nothing cannot
+pass vacuously).
+"""
+
+from repro.common.errors import ConfigurationError
+
+
+def _newest_block(log_region, min_entries=1):
+    """The newest superblock holding at least ``min_entries`` entries."""
+    for block in log_region.iter_superblocks_backward():
+        if len(block.entries) >= min_entries:
+            return block
+    raise ConfigurationError(
+        "no superblock with >= %d entries to corrupt (log holds %d entries)"
+        % (min_entries, len(log_region))
+    )
+
+
+def tear_superblock(log_region, keep=None):
+    """Torn superblock write: a suffix of the block's entries is lost.
+
+    Models a power failure mid-way through the device committing a
+    superblock: the block's header (checksum, max ValidTill) describes
+    the full write, but only ``keep`` entries actually landed. Distinct
+    from the *legitimate* torn flush of ``CrashPlan`` — there the
+    surviving prefix is appended through the normal path and stays
+    checksum-consistent; here the header lies about the bytes.
+    """
+    block = _newest_block(log_region, min_entries=2)
+    total = len(block.entries)
+    if keep is None:
+        keep = total // 2
+    keep = max(0, min(keep, total - 1))
+    # Mutate the entry list directly: the checksum and max_valid_till
+    # sealed by add() now describe entries that no longer exist.
+    del block.entries[keep:]
+    return "tore newest superblock: kept %d of %d entries" % (keep, total)
+
+
+def flip_entry_bit(log_region, field="token", bit=0, entry_index=-1):
+    """Flip one bit of one field of one logged entry in place."""
+    block = _newest_block(log_region)
+    entry = block.entries[entry_index]
+    if not hasattr(entry, field):
+        raise ConfigurationError("undo entries have no field %r" % field)
+    old = getattr(entry, field)
+    setattr(entry, field, old ^ (1 << bit))
+    return "flipped bit %d of %s (%d -> %d)" % (
+        bit,
+        field,
+        old,
+        getattr(entry, field),
+    )
+
+
+def corrupt_superblock_header(log_region, bit=0):
+    """Flip a bit in a superblock's max-ValidTill header.
+
+    The header drives recovery's early-stop check, so a silent downward
+    flip on the newest block would skip every live entry — exactly the
+    mis-recovery the per-block verification exists to catch.
+    """
+    block = _newest_block(log_region)
+    old = block.max_valid_till
+    block.max_valid_till = old ^ (1 << bit)
+    return "flipped bit %d of max_valid_till (%d -> %d)" % (
+        bit,
+        old,
+        block.max_valid_till,
+    )
+
+
+#: The injector suite the crash matrix runs, name -> callable.
+INJECTORS = {
+    "torn_superblock": tear_superblock,
+    "bitflip_token": lambda log: flip_entry_bit(log, "token", bit=3),
+    "bitflip_valid_till": lambda log: flip_entry_bit(log, "valid_till", bit=1),
+    "corrupt_header": corrupt_superblock_header,
+}

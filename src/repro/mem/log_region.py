@@ -12,25 +12,66 @@ here are durable (appends happen when a buffer flush is handed to the
 device, and crashes are injected at operation boundaries).
 """
 
-from repro.common.errors import ConfigurationError, LogExhaustedError
+from repro.common.errors import ConfigurationError, LogExhaustedError, RecoveryError
 from repro.common.stats import StatCounters
 from repro.common.units import KB, MB
 
 
-class SuperBlock:
-    """A 4 KB group of log entries sharing one expiration tag."""
+def _entry_fingerprint(entry):
+    """The per-entry term folded into a superblock's checksum."""
+    return hash((entry.addr, entry.token, entry.valid_from, entry.valid_till))
 
-    __slots__ = ("entries", "max_valid_till")
+
+class SuperBlock:
+    """A 4 KB group of log entries sharing one expiration tag.
+
+    Each block carries a checksum folded incrementally over its entries
+    (the model of the per-block ECC/CRC a real NVM log would carry).
+    Recovery verifies it before trusting a block's entries or its
+    ``max_valid_till`` header, so torn superblock writes and bit flips are
+    *detected* (:class:`repro.common.errors.RecoveryError`) instead of
+    silently mis-recovered.
+    """
+
+    __slots__ = ("entries", "max_valid_till", "checksum")
 
     def __init__(self):
         self.entries = []
         self.max_valid_till = -1
+        self.checksum = 0
 
     def add(self, entry):
         """Add an entry, tracking the block's max ValidTill."""
         self.entries.append(entry)
+        self.checksum ^= _entry_fingerprint(entry)
         if entry.valid_till > self.max_valid_till:
             self.max_valid_till = entry.valid_till
+
+    def verify(self):
+        """Raise :class:`RecoveryError` unless the block is intact.
+
+        Recomputes the checksum and the ``max_valid_till`` header from the
+        entries and compares both against the stored values. Any torn
+        write (entries missing relative to the sealed checksum) or bit
+        flip (entry fields or header changed in place) shows up as a
+        mismatch.
+        """
+        checksum = 0
+        max_valid_till = -1
+        for entry in self.entries:
+            checksum ^= _entry_fingerprint(entry)
+            if entry.valid_till > max_valid_till:
+                max_valid_till = entry.valid_till
+        if checksum != self.checksum:
+            raise RecoveryError(
+                "log superblock checksum mismatch (%d entries): torn write "
+                "or corrupted entry" % len(self.entries)
+            )
+        if max_valid_till != self.max_valid_till:
+            raise RecoveryError(
+                "log superblock header corrupt: max ValidTill %d does not "
+                "match entries (%d)" % (self.max_valid_till, max_valid_till)
+            )
 
     def expired(self, persisted_eid):
         """A superblock is dead once no entry can cover the persisted EID.
@@ -143,6 +184,11 @@ class LogRegion:
     def iter_superblocks_backward(self):
         """Yield superblocks newest-first (recovery's early-stop check)."""
         return reversed(self._superblocks)
+
+    def verify(self):
+        """Verify every live superblock (see :meth:`SuperBlock.verify`)."""
+        for block in self._superblocks:
+            block.verify()
 
     def collect_garbage(self, persisted_eid):
         """Free every expired superblock; returns bytes reclaimed.

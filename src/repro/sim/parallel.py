@@ -1,4 +1,4 @@
-"""Parallel sweep execution and on-disk result caching.
+"""Parallel sweep execution, on-disk result caching, and fault tolerance.
 
 Every figure in the paper is a grid of independent ``(config, scheme,
 benchmarks, n_instructions, seed)`` simulation points — embarrassingly
@@ -7,29 +7,49 @@ point builds its own trace from an explicit seed, so running points on
 worker processes produces *bit-identical* results to running them in a
 loop.
 
-Two pieces live here:
+Three pieces live here:
 
 * :func:`run_points` — execute a list of :class:`RunPoint` s, fanning out
   over a ``ProcessPoolExecutor`` when ``jobs > 1``. Results come back in
-  input order regardless of completion order.
+  input order regardless of completion order. The pool is a fast path
+  only: a worker that dies or hangs does not sink the sweep. Failed or
+  timed-out batches are retried (bounded, exponential backoff) in
+  *isolated* single-batch processes that can be killed precisely and
+  attribute the failure to the exact :class:`RunPoint`; if the pool
+  cannot even be created the sweep degrades to serial in-process
+  execution. Any simulation error is re-raised as
+  :class:`PointExecutionError` naming the point that died.
 * :class:`ResultCache` — a content-addressed on-disk cache keyed by a
   hash of the full run description (config included), so re-running a
-  figure with warm cache does no simulation at all. Opt out with
-  ``REPRO_NO_CACHE=1``; relocate with ``REPRO_CACHE_DIR``.
+  figure with warm cache does no simulation at all. Entries that exist
+  but fail to load are quarantined to ``<cache>/corrupt/`` (counted in
+  ``cache.quarantined``) rather than silently overwritten, preserving
+  the evidence. Opt out with ``REPRO_NO_CACHE=1``; relocate with
+  ``REPRO_CACHE_DIR``.
+* :class:`SweepCheckpoint` — an append-only journal of finished points,
+  so an interrupted sweep resumes where it stopped instead of starting
+  over.
 
-Select the worker count with ``jobs=N``, ``jobs="auto"`` (one per CPU), or
-the ``REPRO_JOBS`` environment variable.
+Select the worker count with ``jobs=N``, ``jobs="auto"`` (one per
+*available* CPU — the scheduling affinity mask, not the raw core count),
+or the ``REPRO_JOBS`` environment variable. Fault-tolerance knobs:
+``REPRO_POINT_TIMEOUT`` (seconds per point, unset = no timeout) and
+``REPRO_RETRIES`` (attempts after the first failure, default 2).
 """
 
 import dataclasses
 import hashlib
 import json
+import multiprocessing
 import os
 import pickle
+import sys
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, SimulationError
 from repro.sim.simulator import Simulation
 
 #: Bump when the serialized result format or simulation semantics change
@@ -37,6 +57,12 @@ from repro.sim.simulator import Simulation
 CACHE_SCHEMA_VERSION = 1
 
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Attempts after the first failure, for transient (crash/timeout) errors.
+DEFAULT_RETRIES = 2
+
+#: First retry delay in seconds; doubles per attempt.
+DEFAULT_BACKOFF = 0.25
 
 
 @dataclasses.dataclass(frozen=True)
@@ -55,6 +81,21 @@ class RunPoint:
         """Convenience constructor for the single-core case."""
         return cls(config, scheme_name, (benchmark,), n_instructions, seed)
 
+    def describe(self):
+        """The point's identity, for failure attribution."""
+        return (
+            "scheme=%s benchmarks=%s n_instructions=%d seed=%d"
+            " shared_memory=%s scale=%s"
+            % (
+                self.scheme_name,
+                ",".join(self.benchmarks),
+                self.n_instructions,
+                self.seed,
+                self.shared_memory,
+                getattr(self.config, "scale", "?"),
+            )
+        )
+
     def execute(self):
         """Run the simulation described by this point."""
         sim = Simulation(
@@ -68,16 +109,58 @@ class RunPoint:
         return sim.run()
 
 
-def _execute_point(point):
-    # Module-level so ProcessPoolExecutor can pickle it to workers.
-    return point.execute()
+# ----------------------------------------------------------------------
+# failure attribution
+# ----------------------------------------------------------------------
+
+
+class PointExecutionError(SimulationError):
+    """A simulation point raised; carries which point and the full repr.
+
+    Deterministic: the same point will raise again, so it is *not*
+    retried. ``point_description`` survives pickling across process
+    boundaries (workers ship these back over pipes).
+    """
+
+    def __init__(self, message, point_description=None):
+        super().__init__(message)
+        self.point_description = point_description
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.point_description))
+
+
+class WorkerCrashError(PointExecutionError):
+    """A worker process died (signal/OOM) while running these points.
+
+    Transient from the sweep's perspective: the batch is retried on a
+    fresh process.
+    """
+
+
+class PointTimeoutError(PointExecutionError):
+    """A batch exceeded its time budget and its process was killed."""
+
+
+def _attributed(point):
+    """Execute ``point``, wrapping any failure with the point's identity."""
+    try:
+        return point.execute()
+    except PointExecutionError:
+        raise
+    except Exception as exc:
+        raise PointExecutionError(
+            "point failed [%s]: %s: %s\n  full point: %r"
+            % (point.describe(), type(exc).__name__, exc, point),
+            point_description=point.describe(),
+        ) from exc
 
 
 def _execute_batch(batch):
     # One task per *trace group*: every point in the batch drives the same
     # reference stream, so the worker's per-process trace memo (see
     # repro.trace.synthetic.make_trace) hits for all but the first point.
-    return [point.execute() for point in batch]
+    return [_attributed(point) for point in batch]
 
 
 #: Largest trace-affinity batch shipped to one worker as a single task.
@@ -118,7 +201,10 @@ def resolve_jobs(jobs=None):
     """Normalize a jobs request to a worker count (>= 1).
 
     ``None`` defers to the ``REPRO_JOBS`` environment variable (default 1);
-    ``"auto"`` (or 0) means one worker per CPU.
+    ``"auto"`` (or 0) means one worker per *available* CPU: the process
+    scheduling affinity when the platform exposes it (cgroup/taskset
+    limits make this smaller than ``os.cpu_count()`` on shared CI boxes),
+    the raw CPU count otherwise.
     """
     if jobs is None:
         jobs = os.environ.get("REPRO_JOBS", "1")
@@ -133,25 +219,73 @@ def resolve_jobs(jobs=None):
                     "jobs must be a worker count or 'auto', got %r" % jobs
                 )
     if jobs <= 0:
-        jobs = os.cpu_count() or 1
+        jobs = _available_cpus()
     return max(1, jobs)
+
+
+def _available_cpus():
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+# ----------------------------------------------------------------------
+# on-disk result cache
+# ----------------------------------------------------------------------
+
+
+def point_digest(point):
+    """Stable hex digest identifying a run point.
+
+    Hashes the *entire* run description — every config field (nested
+    dataclasses included), scheme, benchmarks, instruction budget, seed,
+    and a schema version — so any change to what would be simulated
+    changes the digest. Shared by :class:`ResultCache` and
+    :class:`SweepCheckpoint`.
+    """
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "scheme": point.scheme_name,
+        "benchmarks": list(point.benchmarks),
+        "n_instructions": point.n_instructions,
+        "seed": point.seed,
+        "shared_memory": point.shared_memory,
+        "config": dataclasses.asdict(point.config),
+    }
+    canonical = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 class ResultCache:
     """Content-addressed on-disk cache of :class:`SimulationResult` s.
 
-    The key hashes the *entire* run description — every config field
-    (nested dataclasses included), scheme, benchmarks, instruction budget,
-    seed, and a schema version — so any change to what would be simulated
-    changes the key. Entries that fail to load for any reason (truncated
-    file, version skew, hand-edited bytes) are treated as misses and
-    overwritten on the next store.
+    Entries that exist but fail to load (truncated file, version skew,
+    hand-edited bytes) are treated as misses, and the offending file is
+    moved to ``<root>/corrupt/`` — keeping the evidence out of the hot
+    path while ``quarantined`` counts how often it happened (surfaced by
+    the CLI's ``--verbose``).
     """
+
+    #: Process-wide aggregates across every cache instance, so the CLI can
+    #: report totals without plumbing cache objects out of experiments.
+    total_hits = 0
+    total_misses = 0
+    total_quarantined = 0
 
     def __init__(self, root):
         self.root = root
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
+
+    @classmethod
+    def summary(cls):
+        """One-line process-wide cache statistics (for ``--verbose``)."""
+        return (
+            "result cache: %d hits, %d misses, %d corrupt entries quarantined"
+            % (cls.total_hits, cls.total_misses, cls.total_quarantined)
+        )
 
     @classmethod
     def from_env(cls):
@@ -166,20 +300,22 @@ class ResultCache:
 
     def key(self, point):
         """Stable hex digest identifying a run point."""
-        payload = {
-            "schema": CACHE_SCHEMA_VERSION,
-            "scheme": point.scheme_name,
-            "benchmarks": list(point.benchmarks),
-            "n_instructions": point.n_instructions,
-            "seed": point.seed,
-            "shared_memory": point.shared_memory,
-            "config": dataclasses.asdict(point.config),
-        }
-        canonical = json.dumps(payload, sort_keys=True, default=repr)
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        return point_digest(point)
 
     def _path(self, key):
         return os.path.join(self.root, key[:2], key + ".pkl")
+
+    def _quarantine(self, path):
+        """Move an unloadable entry aside instead of deleting it."""
+        corrupt_dir = os.path.join(self.root, "corrupt")
+        try:
+            os.makedirs(corrupt_dir, exist_ok=True)
+            os.replace(path, os.path.join(corrupt_dir, os.path.basename(path)))
+        except OSError:
+            # Quarantine is best-effort; a store() will overwrite in place.
+            return
+        self.quarantined += 1
+        ResultCache.total_quarantined += 1
 
     def load(self, point):
         """The cached result for ``point``, or None on any kind of miss."""
@@ -187,11 +323,18 @@ class ResultCache:
         try:
             with open(path, "rb") as handle:
                 result = pickle.load(handle)
-        except Exception:
-            # Missing, truncated, corrupted, or unpicklable: simulate anew.
+        except FileNotFoundError:
             self.misses += 1
+            ResultCache.total_misses += 1
+            return None
+        except Exception:
+            # The entry exists but cannot be loaded: corrupted on disk.
+            self._quarantine(path)
+            self.misses += 1
+            ResultCache.total_misses += 1
             return None
         self.hits += 1
+        ResultCache.total_hits += 1
         return result
 
     def store(self, point, result):
@@ -212,55 +355,303 @@ class ResultCache:
             raise
 
 
-def run_points(points, jobs=None, cache=None):
+class SweepCheckpoint:
+    """Append-only journal of finished points for sweep resumption.
+
+    Each record is one pickled ``(digest, result)`` pair; a process
+    killed mid-append leaves a truncated tail that :meth:`load` skips, so
+    every fully-written record before the kill still resumes. Unlike
+    :class:`ResultCache` (shared, content-addressed, survives forever)
+    a checkpoint belongs to one sweep invocation and is deleted when the
+    sweep completes.
+    """
+
+    def __init__(self, path):
+        self.path = path
+        self._results = {}
+        self._load()
+
+    def _load(self):
+        try:
+            handle = open(self.path, "rb")
+        except FileNotFoundError:
+            return
+        with handle:
+            while True:
+                try:
+                    digest, result = pickle.load(handle)
+                except EOFError:
+                    break
+                except Exception:
+                    # Truncated or torn tail record: everything before it
+                    # is intact, everything after is unreadable framing.
+                    break
+                self._results[digest] = result
+
+    def lookup(self, point):
+        """The journaled result for ``point``, or None."""
+        return self._results.get(point_digest(point))
+
+    def record(self, point, result):
+        """Append one finished point; durable once the call returns."""
+        digest = point_digest(point)
+        with open(self.path, "ab") as handle:
+            pickle.dump((digest, result), handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._results[digest] = result
+
+    def done(self):
+        """The sweep completed: remove the journal."""
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# isolated (killable, attributable) batch execution
+# ----------------------------------------------------------------------
+
+
+def _isolated_main(conn, batch):
+    """Child entry point: run a batch, ship back the results or the error."""
+    try:
+        results = _execute_batch(batch)
+    except PointExecutionError as exc:
+        conn.send(("error", exc))
+    except BaseException as exc:  # belt and braces: never die silently
+        conn.send(("error", PointExecutionError(repr(exc))))
+    else:
+        conn.send(("ok", results))
+    finally:
+        conn.close()
+
+
+def _run_batch_isolated(batch, timeout):
+    """Run one batch in its own process; kill it if it exceeds ``timeout``.
+
+    Unlike a pool task, an isolated batch can be killed precisely and its
+    death attributed to exactly these points.
+    """
+    parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
+    proc = multiprocessing.Process(
+        target=_isolated_main, args=(child_conn, batch), daemon=True
+    )
+    proc.start()
+    child_conn.close()
+    described = "; ".join(point.describe() for point in batch)
+    try:
+        if not parent_conn.poll(timeout):
+            proc.kill()
+            proc.join()
+            raise PointTimeoutError(
+                "batch exceeded %.1fs and was killed [%s]" % (timeout, described),
+                point_description=described,
+            )
+        try:
+            status, payload = parent_conn.recv()
+        except EOFError:
+            proc.join()
+            raise WorkerCrashError(
+                "worker died (exit code %s) while running [%s]"
+                % (proc.exitcode, described),
+                point_description=described,
+            ) from None
+        if status == "error":
+            raise payload
+        return payload
+    finally:
+        parent_conn.close()
+        if proc.is_alive():
+            proc.kill()
+        proc.join()
+
+
+def _retrying_isolated(batch, timeout, retries, backoff):
+    """Isolated execution with bounded retry for *transient* failures.
+
+    Deterministic failures (:class:`PointExecutionError` raised by the
+    simulation itself) are re-raised immediately — the same point would
+    fail the same way again. Crashes and timeouts get ``retries`` more
+    attempts with exponential backoff.
+    """
+    budget = (timeout or 3600.0) * max(1, len(batch))
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return _run_batch_isolated(batch, budget)
+        except (WorkerCrashError, PointTimeoutError) as exc:
+            if attempt > retries:
+                raise
+            delay = backoff * (2 ** (attempt - 1))
+            print(
+                "repro: transient failure (attempt %d/%d, retrying in %.2fs):"
+                " %s" % (attempt, retries + 1, delay, exc),
+                file=sys.stderr,
+            )
+            time.sleep(delay)
+
+
+def _kill_pool(pool):
+    """Best-effort teardown of a pool whose workers may be stuck."""
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.kill()
+        except Exception:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _env_float(name):
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        raise ConfigurationError("%s must be a number, got %r" % (name, raw))
+
+
+# ----------------------------------------------------------------------
+# the sweep driver
+# ----------------------------------------------------------------------
+
+
+def run_points(
+    points,
+    jobs=None,
+    cache=None,
+    checkpoint=None,
+    timeout=None,
+    retries=None,
+    backoff=DEFAULT_BACKOFF,
+):
     """Execute every point; returns results in input order.
 
-    Cached points are answered without simulating. The remainder run
-    serially when ``jobs`` resolves to 1 (or only one point is pending),
-    otherwise on a process pool — either way each point's simulation is
-    seeded identically, so the results are bit-identical across modes.
-    Pool tasks are same-trace batches (see :func:`_trace_batches`) so each
-    worker generates a given reference stream once and memo-replays it for
-    the other schemes at that point.
+    Cached or checkpointed points are answered without simulating. The
+    remainder run serially when ``jobs`` resolves to 1 (or only one point
+    is pending), otherwise on a process pool — either way each point's
+    simulation is seeded identically, so the results are bit-identical
+    across modes. Pool tasks are same-trace batches (see
+    :func:`_trace_batches`) so each worker generates a given reference
+    stream once and memo-replays it for the other schemes at that point.
+
+    Fault tolerance (pool mode): a broken pool (worker killed by signal /
+    OOM) or a batch exceeding ``timeout`` seconds per point tears the pool
+    down and re-runs the unfinished batches in isolated single-batch
+    processes — killable on timeout, retried up to ``retries`` times with
+    exponential ``backoff``, and any terminal failure names the exact
+    points that died. If the pool cannot be created at all the sweep
+    degrades to serial in-process execution. ``timeout`` defaults to
+    ``REPRO_POINT_TIMEOUT`` (unset = no deadline), ``retries`` to
+    ``REPRO_RETRIES`` (default 2).
     """
     points = list(points)
+    if timeout is None:
+        timeout = _env_float("REPRO_POINT_TIMEOUT")
+    if retries is None:
+        retries = int(os.environ.get("REPRO_RETRIES", DEFAULT_RETRIES))
     results = [None] * len(points)
     pending = []
     for index, point in enumerate(points):
+        if checkpoint is not None:
+            journaled = checkpoint.lookup(point)
+            if journaled is not None:
+                results[index] = journaled
+                continue
         if cache is not None:
             cached = cache.load(point)
             if cached is not None:
                 results[index] = cached
+                if checkpoint is not None:
+                    checkpoint.record(point, cached)
                 continue
         pending.append(index)
     if not pending:
         return results
+
+    def finish(index, result):
+        results[index] = result
+        if cache is not None:
+            cache.store(points[index], result)
+        if checkpoint is not None:
+            checkpoint.record(points[index], result)
+
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(pending) == 1:
         for index in pending:
-            result = points[index].execute()
-            results[index] = result
-            if cache is not None:
-                cache.store(points[index], result)
+            finish(index, _attributed(points[index]))
         return results
     # Ship same-trace points to one worker as a batch so the worker-local
     # trace memo hits; results land back by index, preserving input order.
     batches = _trace_batches(points, pending)
     workers = min(jobs, len(batches))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        computed_batches = pool.map(
-            _execute_batch, [[points[index] for index in batch] for batch in batches]
+    try:
+        pool = ProcessPoolExecutor(max_workers=workers)
+    except OSError as exc:
+        # No room for worker processes at all: degrade to serial rather
+        # than failing a sweep whose work is perfectly runnable in-process.
+        print(
+            "repro: cannot create %d-worker pool (%s); running serially"
+            % (workers, exc),
+            file=sys.stderr,
         )
-        for batch, computed in zip(batches, computed_batches):
+        for index in pending:
+            finish(index, _attributed(points[index]))
+        return results
+
+    unfinished = list(batches)
+    pool_broken = False
+    try:
+        futures = [
+            (batch, pool.submit(_execute_batch, [points[i] for i in batch]))
+            for batch in batches
+        ]
+        for batch, future in futures:
+            if pool_broken:
+                break
+            budget = timeout * len(batch) if timeout else None
+            try:
+                computed = future.result(timeout=budget)
+            except PointExecutionError:
+                # Deterministic simulation failure: retrying cannot help.
+                raise
+            except (BrokenExecutor, FutureTimeoutError, OSError):
+                # A worker died or a batch blew its deadline; the pool's
+                # other workers (and task attribution) are now suspect.
+                pool_broken = True
+                break
             for index, result in zip(batch, computed):
-                results[index] = result
-                if cache is not None:
-                    cache.store(points[index], result)
+                finish(index, result)
+            unfinished.remove(batch)
+    finally:
+        if pool_broken:
+            _kill_pool(pool)
+        else:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    if unfinished:
+        print(
+            "repro: pool failed with %d batch(es) unfinished; re-running"
+            " them in isolated processes" % len(unfinished),
+            file=sys.stderr,
+        )
+        for batch in unfinished:
+            computed = _retrying_isolated(
+                [points[i] for i in batch], timeout, retries, backoff
+            )
+            for index, result in zip(batch, computed):
+                finish(index, result)
     return results
 
 
-def run_keyed(pairs, jobs=None, cache=None):
+def run_keyed(pairs, jobs=None, cache=None, **kwargs):
     """Execute ``(key, RunPoint)`` pairs; returns ``{key: result}``."""
     pairs = list(pairs)
-    results = run_points([point for _key, point in pairs], jobs=jobs, cache=cache)
+    results = run_points(
+        [point for _key, point in pairs], jobs=jobs, cache=cache, **kwargs
+    )
     return {key: result for (key, _point), result in zip(pairs, results)}

@@ -12,10 +12,12 @@ happen inside the schemes' ``on_store`` hooks. Scheduled-commit stalls are
 stop-the-world (charged to every core); overflow stalls are charged to the
 offending core, with the other cores slowed naturally by NVM backpressure.
 
-Crash injection: pass ``crash_at_instructions`` to stop mid-run, then call
-:meth:`Simulation.crash_and_recover` to lose all volatile state, run the
-scheme's recovery, and get back the recovered image together with the
-reference snapshot it must match.
+Crash injection: pass ``crash_at_instructions`` to stop mid-run, or a
+:class:`repro.fault.CrashPlan` as ``crash_plan`` to power-fail at a
+*semantic* event (mid-undo-flush, eviction-before-log-write, mid-ACS
+scan, …); then call :meth:`Simulation.crash_and_recover` to lose all
+volatile state, run the scheme's recovery, and get back the recovered
+image together with the reference snapshot it must match.
 """
 
 import heapq
@@ -27,6 +29,7 @@ from repro.common.errors import ConfigurationError
 from repro.common.stats import StatCounters
 from repro.core.picl import PiclScheme
 from repro.cpu.core import CoreState
+from repro.fault.plan import CrashSignal
 from repro.cpu.system import System
 from repro.mem.controller import MemoryController
 from repro.sim.results import SimulationResult
@@ -167,24 +170,49 @@ class Simulation:
                 )
             )
         self.crashed = False
+        #: The semantic crash site that fired (None for clean runs and
+        #: instruction-count crashes).
+        self.crash_site = None
         self._ran = False
 
     # ------------------------------------------------------------------
     # the main loop
     # ------------------------------------------------------------------
 
-    def run(self, crash_at_instructions=None):
-        """Drive the traces to completion (or to the crash point)."""
+    def run(self, crash_at_instructions=None, crash_plan=None):
+        """Drive the traces to completion (or to the crash point).
+
+        ``crash_plan`` injects a semantic-event crash (see
+        :mod:`repro.fault.plan`): instruction-count plans fold into
+        ``crash_at_instructions``; site plans install hooks on the
+        hierarchy/scheme and power-fail by raising ``CrashSignal`` from
+        inside the crash window. A plan whose site is never reached lets
+        the run complete (check ``crash_plan.fired``).
+        """
         if self._ran:
             raise ConfigurationError("a Simulation object runs exactly once")
         self._ran = True
-        if len(self.cores) == 1:
-            self._run_single_core(crash_at_instructions)
-        else:
-            self._run_multi_core(crash_at_instructions)
-        if not self.crashed:
-            stall = self.scheme.finalize(self.system.max_cycle())
-            self.system.broadcast_stall(stall)
+        if crash_plan is not None:
+            if crash_plan.at_instructions is not None:
+                if crash_at_instructions is None:
+                    crash_at_instructions = crash_plan.at_instructions
+                else:
+                    crash_at_instructions = min(
+                        crash_at_instructions, crash_plan.at_instructions
+                    )
+            else:
+                crash_plan.install(self)
+        try:
+            if len(self.cores) == 1:
+                self._run_single_core(crash_at_instructions)
+            else:
+                self._run_multi_core(crash_at_instructions)
+            if not self.crashed:
+                stall = self.scheme.finalize(self.system.max_cycle())
+                self.system.broadcast_stall(stall)
+        except CrashSignal as signal:
+            self.crashed = True
+            self.crash_site = signal.site
         return self.result()
 
     def _run_single_core(self, crash_at_instructions):

@@ -95,6 +95,84 @@ class TestEarlyStop:
         assert report.entries_scanned == 4
 
 
+class TestEdgeCases:
+    def test_empty_log_empty_image(self):
+        image, report = recover_image({}, make_log([]), persisted_eid=0)
+        assert image == {}
+        assert report.entries_scanned == 0
+        assert not report.stopped_early
+
+    def test_zero_committed_epochs_reverts_everything(self):
+        # Crash before the first commit ever persisted: PersistedEID -1,
+        # every store since boot has an initial-image undo entry.
+        log = make_log(
+            [UndoEntry(0, 0, -1, 0), UndoEntry(64, 0, -1, 1)]
+        )
+        image, report = recover_image(
+            {0: 7, 64: 9, 128: 3}, log, persisted_eid=-1
+        )
+        assert image[0] == 0 and image[64] == 0
+        assert image[128] == 3  # never logged: unmodified since boot
+        assert report.entries_applied == 2
+
+    def test_stopped_early_only_when_scan_truncates(self):
+        live = [UndoEntry(0, 1, 2, 4)]
+        expired = [UndoEntry(64, 2, 0, 1), UndoEntry(128, 3, 0, 1)]
+        _image, report = recover_image(
+            {}, make_log(expired + live, per_block=2), persisted_eid=2
+        )
+        assert report.stopped_early
+        _image, full_report = recover_image(
+            {}, make_log(live, per_block=2), persisted_eid=2
+        )
+        assert not full_report.stopped_early
+
+    def test_early_stop_block_is_not_scanned(self):
+        expired = [UndoEntry(i * 64, i, 0, 1) for i in range(2)]
+        live = [UndoEntry(i * 64, 50 + i, 1, 9) for i in range(2)]
+        log = make_log(expired + live, per_block=2)
+        _image, report = recover_image({}, log, persisted_eid=1)
+        assert report.superblocks_scanned == 1
+        assert report.entries_scanned == 2
+
+
+class TestRestartability:
+    """Recovery interrupted by a second crash must be rerunnable."""
+
+    def entries(self):
+        return [
+            UndoEntry(0, 10, 0, 2),
+            UndoEntry(64, 11, 0, 2),
+            UndoEntry(128, 12, 0, 2),
+            UndoEntry(64, 99, 1, 2),  # newer duplicate: oldest must win
+        ]
+
+    def test_apply_limit_stops_mid_recovery(self):
+        log = make_log(self.entries())
+        _image, report = recover_image({}, log, persisted_eid=1, apply_limit=2)
+        assert report.entries_applied == 2
+
+    def test_interrupted_then_rerun_converges(self):
+        nvm = {0: 1, 64: 2, 128: 3, 192: 4}
+        log = make_log(self.entries())
+        complete, _r = recover_image(nvm, log, persisted_eid=1)
+        for limit in range(0, 5):
+            partial, _r = recover_image(
+                nvm, log, persisted_eid=1, apply_limit=limit
+            )
+            # The partially-recovered image *is* the NVM when the second
+            # crash hits; recovery from it must land on the same image.
+            rerun, _r = recover_image(partial, log, persisted_eid=1)
+            assert rerun == complete, "diverged at apply_limit=%d" % limit
+
+    def test_recovery_is_idempotent(self):
+        nvm = {0: 1, 64: 2, 128: 3}
+        log = make_log(self.entries())
+        once, _r = recover_image(nvm, log, persisted_eid=1)
+        twice, _r = recover_image(once, log, persisted_eid=1)
+        assert twice == once
+
+
 class TestCheckRecovered:
     def test_matching_images_pass(self):
         check_recovered({0: 1}, {0: 1})

@@ -1,0 +1,135 @@
+"""The differential crash matrix end to end (small scale).
+
+These are the gating safety cells: crash at a semantic window, recover,
+compare token-exactly against the oracle snapshot; corrupt the log,
+expect detection. The CLI's ``fault-sweep`` runs the same harness at
+preset scales.
+"""
+
+import pytest
+
+from repro.common.errors import RecoveryError
+from repro.fault.harness import (
+    LOGGED_SCHEMES,
+    RECOVERABLE_SCHEMES,
+    CrashEvent,
+    matrix_events,
+    run_cell,
+    run_crash_matrix,
+    validate_fault_detection,
+    validate_recovery,
+)
+from repro.fault.plan import CrashPlan
+from repro.sim.config import SystemConfig
+from repro.sim.simulator import Simulation
+
+CONFIG = SystemConfig().scaled(512, track_reference=True, reference_depth=256)
+
+
+def cell(event_name, scheme):
+    event = {e.name: e for e in matrix_events(full=True)}[event_name]
+    return run_cell(CONFIG, scheme, event, "gcc", 6, seed=20180101)
+
+
+class TestSemanticCells:
+    @pytest.mark.parametrize("scheme", RECOVERABLE_SCHEMES)
+    def test_epoch_boundary_minus(self, scheme):
+        outcome = cell("epoch1-7", scheme)
+        assert outcome.triggered
+        assert outcome.status == "ok", outcome.detail
+
+    @pytest.mark.parametrize("scheme", RECOVERABLE_SCHEMES)
+    def test_llc_eviction_window(self, scheme):
+        outcome = cell("llc-eviction", scheme)
+        assert outcome.triggered
+        assert outcome.status == "ok", outcome.detail
+
+    def test_torn_undo_flush(self):
+        outcome = cell("undo-flush-torn", "picl")
+        assert outcome.triggered
+        assert outcome.status == "ok", outcome.detail
+
+    def test_pre_inplace_window(self):
+        outcome = cell("pre-inplace", "picl")
+        assert outcome.triggered
+        assert outcome.status == "ok", outcome.detail
+
+    def test_mid_acs_scan(self):
+        outcome = cell("mid-acs", "picl")
+        assert outcome.triggered
+        assert outcome.status == "ok", outcome.detail
+
+    @pytest.mark.parametrize("scheme", LOGGED_SCHEMES)
+    def test_nested_recovery_idempotent(self, scheme):
+        outcome = cell("nested-recovery", scheme)
+        assert outcome.triggered
+        assert outcome.status == "ok", outcome.detail
+
+
+class TestCorruptionCells:
+    @pytest.mark.parametrize("scheme", LOGGED_SCHEMES)
+    def test_torn_superblock_detected(self, scheme):
+        outcome = cell("nvm-torn_superblock", scheme)
+        assert outcome.status == "detected", outcome.detail
+
+    @pytest.mark.parametrize("scheme", LOGGED_SCHEMES)
+    def test_bitflip_detected(self, scheme):
+        outcome = cell("nvm-bitflip_token", scheme)
+        assert outcome.status == "detected", outcome.detail
+
+    def test_silent_misrecovery_is_a_failure(self, monkeypatch):
+        # If recovery were to succeed over a corrupted log, the cell must
+        # FAIL (detection is the asserted property, not recoverability).
+        sim = Simulation(CONFIG, "frm", ["mcf"], 40_000, seed=1)
+        sim.run(crash_plan=CrashPlan.at(35_000))
+        monkeypatch.setattr(
+            type(sim.scheme.log), "verify", lambda self: None
+        )
+        with pytest.raises(RecoveryError, match="silent mis-recovery"):
+            validate_fault_detection(sim, "bitflip_token")
+
+
+class TestHarnessPlumbing:
+    def test_validate_recovery_requires_oracle(self):
+        # No reference tracking: the crash lands past the first commit,
+        # whose snapshot was never recorded — the harness must refuse to
+        # validate rather than vacuously pass.
+        config = SystemConfig().scaled(512)
+        span = config.epoch_instructions
+        sim = Simulation(config, "frm", ["gcc"], span * 2, seed=1)
+        sim.run(crash_at_instructions=span + span // 2)
+        with pytest.raises(RecoveryError, match="oracle"):
+            validate_recovery(sim)
+
+    def test_unfired_plan_reported_not_hidden(self):
+        event = CrashEvent(
+            "never",
+            "plan",
+            make_plan=lambda c, n: CrashPlan.on_event("acs_scan", 10_000),
+        )
+        outcome = run_cell(CONFIG, "frm", event, "gcc", 2, seed=1)
+        assert not outcome.triggered
+        assert outcome.status == "ok"  # final-state recovery still checked
+
+    def test_matrix_filters_schemes_per_event(self):
+        events = [e for e in matrix_events() if e.name == "undo-flush-torn"]
+        outcomes = run_crash_matrix(CONFIG, epochs=4, events=events)
+        assert [o.scheme for o in outcomes] == ["picl"]
+
+    def test_validation_failure_is_captured_not_raised(self, monkeypatch):
+        event = {e.name: e for e in matrix_events()}["mid-epoch"]
+
+        def always_diverges(sim):
+            raise RecoveryError("injected divergence")
+
+        monkeypatch.setattr(
+            "repro.fault.harness.validate_recovery", always_diverges
+        )
+        outcome = run_cell(CONFIG, "frm", event, "gcc", 4, seed=1)
+        assert outcome.status == "failed"
+        assert "injected divergence" in outcome.detail
+
+    def test_full_matrix_is_a_superset(self):
+        quick = {e.name for e in matrix_events()}
+        full = {e.name for e in matrix_events(full=True)}
+        assert quick < full

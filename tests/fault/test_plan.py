@@ -1,0 +1,104 @@
+"""CrashPlan / CrashSignal semantics."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.fault.plan import (
+    SEMANTIC_SITES,
+    SITE_UNDO_FLUSH,
+    CrashPlan,
+    CrashSignal,
+)
+from repro.sim.config import SystemConfig
+
+
+class TestConstruction:
+    def test_exactly_one_of_site_or_instructions(self):
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            CrashPlan(None)
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            CrashPlan(SITE_UNDO_FLUSH, at_instructions=100)
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown crash site"):
+            CrashPlan("power_supply")
+
+    def test_occurrence_counts_from_one(self):
+        with pytest.raises(ConfigurationError, match="occurrence"):
+            CrashPlan.on_event(SITE_UNDO_FLUSH, occurrence=0)
+
+    def test_every_semantic_site_constructible(self):
+        for site in SEMANTIC_SITES:
+            assert CrashPlan.on_event(site).site == site
+
+    def test_at_epoch_boundary_math(self):
+        config = SystemConfig().scaled(512)
+        span = config.epoch_instructions * config.n_cores
+        assert CrashPlan.at_epoch_boundary(config, 2).at_instructions == 2 * span
+        assert (
+            CrashPlan.at_epoch_boundary(config, 1, offset=-7).at_instructions
+            == span - 7
+        )
+        # Offsets can never produce a non-positive crash point.
+        assert CrashPlan.at_epoch_boundary(config, 1, -span * 2).at_instructions == 1
+
+
+class TestNotify:
+    def test_fires_on_nth_occurrence_only(self):
+        plan = CrashPlan.on_event(SITE_UNDO_FLUSH, occurrence=3)
+        plan.notify(SITE_UNDO_FLUSH)
+        plan.notify(SITE_UNDO_FLUSH)
+        assert not plan.fired
+        with pytest.raises(CrashSignal) as excinfo:
+            plan.notify(SITE_UNDO_FLUSH)
+        assert plan.fired
+        assert excinfo.value.site == SITE_UNDO_FLUSH
+
+    def test_other_sites_ignored(self):
+        plan = CrashPlan.on_event(SITE_UNDO_FLUSH)
+        plan.notify("llc_eviction")
+        plan.notify("acs_scan")
+        assert not plan.fired
+
+    def test_signal_is_not_an_exception(self):
+        # A model-level `except Exception` must not swallow a power
+        # failure; CrashSignal derives from BaseException directly.
+        assert not issubclass(CrashSignal, Exception)
+        assert issubclass(CrashSignal, BaseException)
+
+
+class TestFlushTear:
+    def test_default_tear_is_half_the_burst(self):
+        plan = CrashPlan.on_event(SITE_UNDO_FLUSH)
+        assert plan.flush_tear(10) == 5
+
+    def test_explicit_tear_clamped_to_burst(self):
+        plan = CrashPlan.on_event(SITE_UNDO_FLUSH, tear_entries=99)
+        assert plan.flush_tear(4) == 4
+        plan = CrashPlan.on_event(SITE_UNDO_FLUSH, tear_entries=0)
+        assert plan.flush_tear(4) == 0
+
+    def test_earlier_flushes_survive_intact(self):
+        plan = CrashPlan.on_event(SITE_UNDO_FLUSH, occurrence=2)
+        assert plan.flush_tear(6) is None  # first flush: not yet
+        assert plan.flush_tear(6) == 3  # second: torn
+
+    def test_other_site_plans_never_tear(self):
+        plan = CrashPlan.on_event("acs_scan")
+        assert plan.flush_tear(6) is None
+
+    def test_trip_fires_unconditionally(self):
+        plan = CrashPlan.on_event(SITE_UNDO_FLUSH)
+        with pytest.raises(CrashSignal):
+            plan.trip(SITE_UNDO_FLUSH)
+        assert plan.fired
+
+
+class TestDescribe:
+    def test_labels(self):
+        assert CrashPlan.at(500).describe() == "instructions=500"
+        assert (
+            CrashPlan.on_event(SITE_UNDO_FLUSH, 2, tear_entries=1).describe()
+            == "undo_flush#2(tear=1)"
+        )
+        assert "fired=False" in repr(CrashPlan.at(500))

@@ -82,9 +82,16 @@ class TestResolveJobs:
         monkeypatch.setenv("REPRO_JOBS", "3")
         assert resolve_jobs(2) == 2
 
-    def test_auto_uses_cpu_count(self):
-        assert resolve_jobs("auto") == (os.cpu_count() or 1)
-        assert resolve_jobs(0) == (os.cpu_count() or 1)
+    def test_auto_uses_available_cpus(self):
+        # "auto" means the CPUs this process may actually run on: the
+        # scheduling affinity mask where the platform exposes one
+        # (cgroup/taskset limits), the raw count otherwise.
+        try:
+            expected = len(os.sched_getaffinity(0)) or 1
+        except (AttributeError, OSError):
+            expected = os.cpu_count() or 1
+        assert resolve_jobs("auto") == expected
+        assert resolve_jobs(0) == expected
 
     def test_string_count(self):
         assert resolve_jobs("4") == 4
@@ -151,7 +158,11 @@ class TestResultCache:
             handle.write(b"not a pickle")
         again = run_points([point], cache=cache)[0]
         assert fingerprint(again) == fingerprint(first)
-        # The corrupted entry was rewritten; the next load is a clean hit.
+        # The corrupted bytes were quarantined, not destroyed.
+        assert cache.quarantined == 1
+        corrupt_dir = os.path.join(cache.root, "corrupt")
+        assert os.listdir(corrupt_dir) == [os.path.basename(path)]
+        # The fresh result was stored; the next load is a clean hit.
         hits_before = cache.hits
         run_points([point], cache=cache)
         assert cache.hits == hits_before + 1

@@ -1,0 +1,189 @@
+"""Fault tolerance of the parallel sweep runner.
+
+The properties ISSUE'd: a worker that raises names the exact point that
+died; a worker killed mid-sweep is retried and the sweep completes with
+results bit-identical to a clean serial run; a hung batch is killed at
+its deadline; an interrupted sweep resumes from its checkpoint journal.
+
+The bomb points are ``RunPoint`` subclasses at module level so the pool
+(fork start method) can pickle them by reference; flakiness is a sentinel
+file — first attempt dies, the retry finds the file and succeeds.
+"""
+
+import dataclasses
+import os
+import time
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.sim.parallel import (
+    PointExecutionError,
+    PointTimeoutError,
+    RunPoint,
+    SweepCheckpoint,
+    WorkerCrashError,
+    run_points,
+)
+
+CONFIG = SystemConfig().scaled(512)
+N = CONFIG.epoch_instructions
+
+
+@dataclasses.dataclass(frozen=True)
+class RaisingPoint(RunPoint):
+    """Deterministic failure: raises the same way on every attempt."""
+
+    def execute(self):
+        raise ValueError("injected simulation bug")
+
+
+@dataclasses.dataclass(frozen=True)
+class ExitingPoint(RunPoint):
+    """Kills its process outright, like a segfault or the OOM killer."""
+
+    def execute(self):
+        os._exit(43)
+
+
+@dataclasses.dataclass(frozen=True)
+class HangingPoint(RunPoint):
+    """Never finishes; only a deadline can stop it."""
+
+    def execute(self):
+        time.sleep(300)
+
+
+@dataclasses.dataclass(frozen=True)
+class FlakyPoint(RunPoint):
+    """Dies on the first attempt, succeeds once its sentinel file exists."""
+
+    sentinel: str = ""
+
+    def execute(self):
+        if not os.path.exists(self.sentinel):
+            with open(self.sentinel, "w"):
+                pass
+            os._exit(9)
+        return super().execute()
+
+
+def point(cls, seed, benchmark="gcc", **extra):
+    return cls(CONFIG, "picl", (benchmark,), N, seed, **extra)
+
+
+def fingerprint(result):
+    return (result.cycles, result.instructions, result.stats_dict())
+
+
+class TestAttribution:
+    def test_serial_failure_names_the_point(self):
+        with pytest.raises(PointExecutionError) as excinfo:
+            run_points([point(RaisingPoint, 11)], jobs=1)
+        message = str(excinfo.value)
+        assert "scheme=picl" in message
+        assert "seed=11" in message
+        assert "injected simulation bug" in message
+        assert "RaisingPoint" in message  # the full point repr rides along
+
+    def test_pool_failure_names_the_point(self):
+        # Two distinct traces so the pool actually engages (a single
+        # pending point short-circuits to the serial path).
+        points = [point(RaisingPoint, 12), point(RunPoint, 13, "gamess")]
+        with pytest.raises(PointExecutionError, match="seed=12"):
+            run_points(points, jobs=2)
+
+    def test_attribution_survives_pickling(self):
+        import pickle
+
+        error = PointExecutionError("boom", point_description="seed=5")
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.point_description == "seed=5"
+        assert str(clone) == "boom"
+
+
+class TestWorkerDeath:
+    def test_killed_worker_is_retried_and_sweep_completes(self, tmp_path):
+        sentinel = str(tmp_path / "flaky")
+        points = [
+            point(FlakyPoint, 21, sentinel=sentinel),
+            point(RunPoint, 22, "gamess"),
+        ]
+        results = run_points(points, jobs=2, retries=2, backoff=0.01)
+        clean = run_points([point(RunPoint, 21), points[1]], jobs=1)
+        # Bit-identical to a clean serial run of the same seeds.
+        assert fingerprint(results[0]) == fingerprint(clean[0])
+        assert fingerprint(results[1]) == fingerprint(clean[1])
+
+    def test_persistent_crash_exhausts_retries(self):
+        points = [point(ExitingPoint, 31), point(RunPoint, 32, "gamess")]
+        with pytest.raises(WorkerCrashError) as excinfo:
+            run_points(points, jobs=2, retries=1, backoff=0.01)
+        message = str(excinfo.value)
+        assert "exit code 43" in message
+        assert "seed=31" in message
+
+    def test_hung_batch_is_killed_at_deadline(self):
+        points = [point(HangingPoint, 41), point(RunPoint, 42, "gamess")]
+        start = time.time()
+        with pytest.raises(PointTimeoutError, match="seed=41"):
+            run_points(points, jobs=2, timeout=0.5, retries=0, backoff=0.01)
+        # Two kills (pool + isolated attempt) must still be far below the
+        # 300 s the point would have slept.
+        assert time.time() - start < 60
+
+
+class TestCheckpoint:
+    def test_interrupted_sweep_resumes(self, tmp_path):
+        journal = str(tmp_path / "sweep.ckpt")
+        points = [point(RunPoint, 51), point(RunPoint, 52, "gamess")]
+        first = SweepCheckpoint(journal)
+        partial = run_points(points[:1], jobs=1, checkpoint=first)
+
+        resumed = SweepCheckpoint(journal)
+        assert resumed.lookup(points[0]) is not None
+        assert resumed.lookup(points[1]) is None
+
+        # The finished point is answered from the journal, not re-run:
+        # pair it with a bomb carrying the same digest-relevant fields —
+        # if the journal were ignored, the bomb would kill the process.
+        results = run_points(
+            [point(ExitingPoint, 51), points[1]], jobs=1, checkpoint=resumed
+        )
+        assert fingerprint(results[0]) == fingerprint(partial[0])
+
+    def test_torn_tail_record_is_skipped(self, tmp_path):
+        journal = str(tmp_path / "sweep.ckpt")
+        checkpoint = SweepCheckpoint(journal)
+        checkpoint.record(point(RunPoint, 61), "result-a")
+        checkpoint.record(point(RunPoint, 62, "gamess"), "result-b")
+        with open(journal, "ab") as handle:
+            handle.write(b"\x80\x05torn-mid-append")
+        survivor = SweepCheckpoint(journal)
+        assert survivor.lookup(point(RunPoint, 61)) == "result-a"
+        assert survivor.lookup(point(RunPoint, 62, "gamess")) == "result-b"
+
+    def test_done_removes_journal(self, tmp_path):
+        journal = str(tmp_path / "sweep.ckpt")
+        checkpoint = SweepCheckpoint(journal)
+        checkpoint.record(point(RunPoint, 71), "r")
+        assert os.path.exists(journal)
+        checkpoint.done()
+        assert not os.path.exists(journal)
+        checkpoint.done()  # idempotent
+
+
+class TestSerialDegradation:
+    def test_pool_creation_failure_degrades_to_serial(self, monkeypatch, capsys):
+        def no_pool(*_args, **_kwargs):
+            raise OSError("no processes for you")
+
+        monkeypatch.setattr(
+            "repro.sim.parallel.ProcessPoolExecutor", no_pool
+        )
+        points = [point(RunPoint, 81), point(RunPoint, 82, "gamess")]
+        results = run_points(points, jobs=2)
+        clean = run_points(points, jobs=1)
+        for got, want in zip(results, clean):
+            assert fingerprint(got) == fingerprint(want)
+        assert "running serially" in capsys.readouterr().err
