@@ -1,0 +1,124 @@
+"""CI throughput check: warn (never fail) on large refs/sec drops.
+
+Runs the shared throughput rows (``perf_common.make_rows``), writes a
+fresh ``BENCH_scan.json``, and compares each row's refs/sec against the
+committed ``benchmarks/results/BENCH_scan.json``. A drop beyond the
+threshold (default 20%) prints a warning — in GitHub-annotation form
+when running under Actions — but the exit code stays 0.
+
+Non-gating on purpose: the committed baseline was measured on one
+machine and CI runners are slower, noisier, and heterogeneous, so an
+absolute refs/sec gate would flake constantly. The warning makes a
+regression visible in the log and the uploaded JSON makes it diffable;
+a human decides whether it is real. Re-measure locally with
+``pytest benchmarks/test_perf_throughput.py`` (best-of-2) before
+trusting any single CI number.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/check_perf_regression.py
+    PYTHONPATH=src python benchmarks/check_perf_regression.py \
+        --passes 2 --threshold 0.1
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+import perf_common  # noqa: E402
+
+RESULTS = os.path.join(os.path.dirname(__file__), "results", "BENCH_scan.json")
+
+
+def warn(message):
+    if os.environ.get("GITHUB_ACTIONS") == "true":
+        print("::warning title=throughput regression::%s" % message)
+    else:
+        print("WARNING: %s" % message)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--passes", type=int, default=1,
+        help="passes per row, best kept (default 1: CI is about drift, "
+        "not precision)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.2,
+        help="warn when a row's refs/sec drops by more than this fraction "
+        "of the committed baseline (default 0.2)",
+    )
+    parser.add_argument(
+        "--baseline", default=RESULTS,
+        help="committed BENCH_scan.json to compare against",
+    )
+    parser.add_argument(
+        "--output", default=RESULTS,
+        help="where to write this run's BENCH_scan.json",
+    )
+    args = parser.parse_args(argv)
+
+    # Time real simulation work, not result-cache reads.
+    os.environ.setdefault("REPRO_NO_CACHE", "1")
+
+    baseline = None
+    if os.path.exists(args.baseline):
+        baseline = perf_common.load_bench_json(args.baseline)
+        if baseline.get("protocol") != perf_common.PROTOCOL:
+            print(
+                "baseline protocol %r != %r; skipping comparison"
+                % (baseline.get("protocol"), perf_common.PROTOCOL)
+            )
+            baseline = None
+    else:
+        print("no committed baseline at %s; recording only" % args.baseline)
+
+    measurements, overall = perf_common.measure(passes=args.passes)
+    print("%-14s %12s %12s" % ("row", "refs/sec", "vs-baseline"))
+    regressions = 0
+    for m in measurements:
+        ratio = ""
+        if baseline is not None:
+            base = baseline["rows"].get(m["label"], {}).get("refs_per_sec")
+            if base:
+                ratio = "%.2fx" % (m["refs_per_sec"] / base)
+                if m["refs_per_sec"] < base * (1.0 - args.threshold):
+                    regressions += 1
+                    warn(
+                        "%s: %.0f refs/sec vs baseline %d (%.0f%% drop)"
+                        % (
+                            m["label"],
+                            m["refs_per_sec"],
+                            base,
+                            100.0 * (1.0 - m["refs_per_sec"] / base),
+                        )
+                    )
+        print("%-14s %12.0f %12s" % (m["label"], m["refs_per_sec"], ratio))
+    print("%-14s %12.0f" % ("overall", overall))
+
+    perf_common.write_bench_json(
+        args.output,
+        perf_common.bench_payload(
+            measurements,
+            overall,
+            baseline=baseline.get("baseline") if baseline else None,
+            note="%s; check_perf_regression passes=%d"
+            % (perf_common.PROTOCOL, args.passes),
+        ),
+    )
+    print("wrote %s" % args.output)
+    if regressions:
+        warn(
+            "%d row(s) dropped >%.0f%% vs committed baseline — likely "
+            "machine variance if isolated; investigate if it tracks a "
+            "hot-path change" % (regressions, 100 * args.threshold)
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

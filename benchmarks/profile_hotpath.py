@@ -1,0 +1,75 @@
+"""Profile one throughput row under cProfile.
+
+Perf PRs should start from data, not guesses: this wraps a single
+simulation in cProfile and prints the hottest functions, so "what got
+slower" has an answer before anything is rewritten.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/profile_hotpath.py \
+        --scheme picl --bench lbm --scale 128
+    PYTHONPATH=src python benchmarks/profile_hotpath.py --row picl/W2/acs
+
+``--row`` profiles one of the named throughput rows (exact config the
+bench times, see perf_common.make_rows); ``--scheme/--bench/--scale``
+builds an ad-hoc single-core (or, with ``--cores``, multi-core mix) row.
+Sorting/limits mirror ``python -m repro <fig> --profile`` but this runs
+one row in-process, no experiment plumbing around it.
+"""
+
+import argparse
+import cProfile
+import os
+import pstats
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+import perf_common  # noqa: E402
+from repro.sim.config import SystemConfig  # noqa: E402
+
+
+def build_row(args):
+    if args.row is not None:
+        for row in perf_common.make_rows():
+            if row[0] == args.row:
+                return row
+        labels = ", ".join(r[0] for r in perf_common.make_rows())
+        raise SystemExit("unknown row %r (have: %s)" % (args.row, labels))
+    config = SystemConfig().scaled(args.scale, n_cores=args.cores)
+    n = config.epoch_instructions * args.epochs
+    is_mix = args.cores > 1
+    label = "%s/%s@%d" % (args.scheme, args.bench, args.scale)
+    return (label, args.scheme, args.bench, config, n, is_mix, False)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--row", help="named throughput row (e.g. picl/lbm/acs)")
+    parser.add_argument("--scheme", default="picl", help="scheme name")
+    parser.add_argument("--bench", default="lbm", help="benchmark or mix name")
+    parser.add_argument("--scale", type=int, default=128, help="config scale divisor")
+    parser.add_argument("--cores", type=int, default=1, help="cores (>1 = mix run)")
+    parser.add_argument("--epochs", type=int, default=4, help="epochs to simulate")
+    parser.add_argument(
+        "--sort", default="cumulative", help="pstats sort key (default: cumulative)"
+    )
+    parser.add_argument("--limit", type=int, default=30, help="rows to print")
+    args = parser.parse_args(argv)
+
+    # Profile real simulation work, not result-cache reads.
+    os.environ.setdefault("REPRO_NO_CACHE", "1")
+    row = build_row(args)
+    print("profiling row %s (%d instructions)" % (row[0], row[4]))
+    profiler = cProfile.Profile()
+    profiler.enable()
+    refs, elapsed = perf_common.run_row(row)
+    profiler.disable()
+    print("refs=%d wall=%.2fs refs/sec=%.0f" % (refs, elapsed, refs / elapsed))
+    stats = pstats.Stats(profiler)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.limit)
+
+
+if __name__ == "__main__":
+    main()

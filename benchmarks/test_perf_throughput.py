@@ -1,128 +1,102 @@
 """Simulator throughput microbenchmark (refs/sec).
 
 Not a paper figure: this pins the raw speed of the simulation loop so
-hot-path regressions show up as numbers, not vibes. Three single-core
-workloads cover the interesting paths — Ideal NVM (pure hierarchy, no
-scheme work), PiCL on a cache-friendly trace, and PiCL on a write-heavy
-streaming trace that exercises the undo log and ACS hard — plus one
-eight-core PiCL mix run that times the interleaved multi-core loop (which
-takes none of the single-core batching fast paths).
+hot-path regressions show up as numbers, not vibes. The measured rows
+live in ``perf_common.make_rows()``: the historical scale-128 quartet
+(Ideal NVM, PiCL on gcc/lbm, the eight-core W2 mix) plus two ACS-heavy
+rows (scale 16, oversized LLC, short epochs) where the persist scan
+dominates — the rows that regress if the EID-index scan paths ever fall
+back to sweeping the cache.
 
-The harness is fixed (scale=128, seed=20180101; 4 epochs single-core,
-2 system epochs for the mix) so runs are comparable across commits on the
-same machine; the archived table in ``results/perf_throughput.txt`` keeps
-the previous-PR baseline alongside the current numbers. Each workload is
-run twice and the faster pass is kept: shared hardware swings individual
-runs by ±10-20% (frequency scaling, co-tenancy) and the noise is strictly
-additive, so best-of-N is the stable comparison statistic. The baseline
-column was produced under the same protocol (see ``PR1_BASELINE``).
-Absolute refs/sec is machine-dependent, so the assertions only check the
-run completed sanely — read the archived speedup column for the perf
-story. The ``overall`` row aggregates the three single-core workloads
-only, keeping it comparable with the table's history.
+Protocol: fixed seeds, each row run twice, fastest pass kept (noise on
+shared hardware is strictly additive, so best-of-N is the stable
+statistic). The ``pr3`` column is commit 7af47fa re-measured on this
+machine via a worktree with the same rows and protocol, two rounds
+interleaved with the current code so both sides saw the same machine
+conditions — see ``PR3_BASELINE``. Absolute refs/sec is
+machine-dependent, so the assertions only check the run completed
+sanely; the archived table and ``results/BENCH_scan.json`` carry the
+perf story. ``overall`` sums references over summed best times across
+every row.
 """
 
-import time
+import os
 
-from repro.sim.config import SystemConfig
-from repro.sim.sweep import run_mix, run_single
+from perf_common import (
+    PROTOCOL,
+    SEED,
+    bench_payload,
+    make_rows,
+    measure,
+    write_bench_json,
+)
 
-#: (scheme, benchmark-or-mix) points measured, in order. "W2" is the
-#: eight-core multiprogram mix row (see repro.trace.mixes).
-WORKLOADS = [("ideal", "gcc"), ("picl", "gcc"), ("picl", "lbm"), ("picl", "W2")]
-
-#: Mix rows (timed and archived, excluded from the single-core overall).
-MIX_WORKLOADS = {("picl", "W2")}
-
-#: refs/sec at the previous PR (commit ba41785) with this same harness
-#: (same ``measure()`` best-of-2 protocol), re-measured on the current
-#: machine via a worktree at that commit — two rounds interleaved with
-#: runs of the current code so both sides saw the same machine
-#: conditions, best row kept. This is the "before" column of the
-#: archived table. (The table archived *at* ba41785 was taken on
-#: different hardware and is not comparable.) ``overall`` is
-#: single-core refs over the summed best-row times.
-PR1_BASELINE = {
-    ("ideal", "gcc"): 425547,
-    ("picl", "gcc"): 361865,
-    ("picl", "lbm"): 260431,
-    ("picl", "W2"): 242952,
-    "overall": 325041,
+#: refs/sec at PR 3 (commit 7af47fa) with this same harness — see the
+#: module docstring for the re-measurement protocol. ``overall`` is the
+#: all-rows aggregate.
+PR3_BASELINE = {
+    "ideal/gcc": 466655,
+    "picl/gcc": 452137,
+    "picl/lbm": 293343,
+    "picl/W2": 248447,
+    "picl/lbm/acs": 148672,
+    "picl/W2/acs": 88834,
+    "overall": 199647,
 }
 
 
-def measure(passes=2):
-    """Run every workload ``passes`` times, keep each row's fastest pass.
-
-    Returns (rows, overall refs/sec). ``overall`` covers the single-core
-    rows only (refs summed over their best-pass wall times); the mix row
-    has its own rate and baseline.
-    """
-    config = SystemConfig().scaled(128)
-    n = config.epoch_instructions * 4
-    config8 = SystemConfig().scaled(128, n_cores=8)
-    n8 = config8.epoch_instructions * 2
-    rows = []
-    total_refs = 0
-    total_time = 0.0
-    for scheme, workload in WORKLOADS:
-        best = None
-        for _ in range(passes):
-            start = time.perf_counter()
-            if (scheme, workload) in MIX_WORKLOADS:
-                result = run_mix(config8, scheme, workload, n8, seed=20180101)
-            else:
-                result = run_single(config, scheme, workload, n, seed=20180101)
-            elapsed = time.perf_counter() - start
-            if best is None or elapsed < best:
-                best = elapsed
-        refs = result.stat("loads") + result.stat("stores")
-        rows.append((scheme, workload, refs, best, refs / best))
-        if (scheme, workload) not in MIX_WORKLOADS:
-            total_refs += refs
-            total_time += best
-    return rows, total_refs / total_time
-
-
-def format_result(rows, overall):
+def format_result(measurements, overall):
     lines = [
-        "%-8s %-8s %10s %9s %12s %10s %9s"
-        % ("scheme", "bench", "refs", "time", "refs/sec", "pr1", "speedup")
+        "%-14s %10s %9s %12s %10s %9s"
+        % ("row", "refs", "time", "refs/sec", "pr3", "speedup")
     ]
-    for scheme, workload, refs, elapsed, rate in rows:
-        base_rate = PR1_BASELINE[(scheme, workload)]
+    for m in measurements:
+        base_rate = PR3_BASELINE[m["label"]]
         lines.append(
-            "%-8s %-8s %10d %8.3fs %12.0f %10d %8.2fx"
-            % (scheme, workload, refs, elapsed, rate, base_rate, rate / base_rate)
+            "%-14s %10d %8.3fs %12.0f %10d %8.2fx"
+            % (
+                m["label"],
+                m["refs"],
+                m["seconds"],
+                m["refs_per_sec"],
+                base_rate,
+                m["refs_per_sec"] / base_rate,
+            )
         )
     lines.append(
-        "%-8s %-8s %10s %9s %12.0f %10d %8.2fx"
-        % (
-            "overall", "1-core", "", "",
-            overall,
-            PR1_BASELINE["overall"],
-            overall / PR1_BASELINE["overall"],
-        )
+        "%-14s %10s %9s %12.0f %10d %8.2fx"
+        % ("overall", "", "", overall, PR3_BASELINE["overall"],
+           overall / PR3_BASELINE["overall"])
     )
     return "\n".join(lines)
 
 
 def test_perf_throughput(benchmark, archive):
-    rows, overall = benchmark.pedantic(measure, rounds=1, iterations=1)
+    measurements, overall = benchmark.pedantic(measure, rounds=1, iterations=1)
     archive(
         "perf_throughput",
-        "Simulator throughput (scale=128, seed=20180101; 4 epochs 1-core, "
-        "2 system epochs 8-core mix; best of 2 passes per row; pr1 column "
-        "= commit ba41785 re-measured on this machine with the same "
-        "protocol, 2 interleaved rounds; overall = single-core rows only)",
-        format_result(rows, overall),
+        "Simulator throughput (seed=%d; rows per perf_common.make_rows; "
+        "best of 2 passes per row; pr3 column = commit 7af47fa re-measured "
+        "on this machine with the same protocol, 2 interleaved rounds; "
+        "overall = all rows)" % SEED,
+        format_result(measurements, overall),
+    )
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    write_bench_json(
+        os.path.join(results_dir, "BENCH_scan.json"),
+        bench_payload(
+            measurements,
+            overall,
+            baseline={"pr": 3, "commit": "7af47fa", "rows": PR3_BASELINE},
+            note="%s; best-of-2 passes" % PROTOCOL,
+        ),
     )
     # Sanity, not speed: the same fixed workloads must have run end to end.
-    for scheme, workload, refs, _elapsed, rate in rows:
-        if (scheme, workload) in MIX_WORKLOADS:
-            assert refs > 500_000, (scheme, workload)
-        else:
-            assert refs > 100_000, (scheme, workload)
-        assert rate > 0
+    by_label = {m["label"]: m for m in measurements}
+    assert set(by_label) == {row[0] for row in make_rows()}
+    for m in measurements:
+        assert m["refs"] > 100_000, m["label"]
+        assert m["refs_per_sec"] > 0
     # Both gcc runs see the identical trace, so identical reference counts.
-    assert rows[0][2] == rows[1][2]
+    assert by_label["ideal/gcc"]["refs"] == by_label["picl/gcc"]["refs"]

@@ -10,6 +10,7 @@ unmodified.
 """
 
 from repro.cache.cache import SetAssocCache
+from repro.cache.eid_index import EidIndex
 from repro.cache.hierarchy import CacheHierarchy, EvictionSink
 from repro.cache.line import CacheLine, LineState
 
@@ -17,6 +18,7 @@ __all__ = [
     "CacheLine",
     "LineState",
     "SetAssocCache",
+    "EidIndex",
     "CacheHierarchy",
     "EvictionSink",
 ]

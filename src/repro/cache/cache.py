@@ -7,11 +7,16 @@ evaluation assumes (PiCL explicitly leaves the eviction policy unmodified).
 Structure: alongside the per-set MRU lists (which exist only to decide
 replacement order), one dict maps every resident line address to its line,
 so the hit/miss check is a single hash probe instead of a linear scan of
-the set. The cache also keeps running resident/dirty counts — insertions,
-removals, and dirty-bit flips (via :class:`repro.cache.line.CacheLine`'s
-``_home`` back-pointer) adjust them — so the ACS and flush paths can poll
-occupancy without iterating every line.
+the set. The cache also keeps a dirty-line dict — insertions, removals,
+and dirty-bit flips (via :class:`repro.cache.line.CacheLine`'s ``_home``
+back-pointer) maintain it — so flush and sync paths touch only the dirty
+lines instead of sweeping every set; the shared LLC additionally carries an
+:class:`repro.cache.eid_index.EidIndex` (attached by the hierarchy) that
+buckets tagged lines by EID for the ACS engine. ``REPRO_BRUTE_SCAN=1``
+keeps the original full-sweep paths alive as a differential oracle.
 """
+
+import os
 
 from repro.common.address import LINE_SIZE
 from repro.common.errors import ConfigurationError
@@ -52,8 +57,16 @@ class SetAssocCache:
         self._sets = [[] for _ in range(n_sets)]
         #: line_addr -> CacheLine for every resident line (the tag index).
         self._tags = {}
-        #: Running count of dirty resident lines (see CacheLine.dirty).
-        self._dirty = 0
+        #: line_addr -> CacheLine for every dirty resident line — the
+        #: "dirty array" the flush/sync paths read instead of sweeping
+        #: (see CacheLine.dirty). Insertion-ordered like every dict.
+        self._dirty_lines = {}
+        #: Optional EID-array analogue (the hierarchy attaches one to the
+        #: LLC); None for private caches, which only need dirty tracking.
+        self.eid_index = None
+        #: Differential escape hatch: recompute dirty_lines() by the
+        #: original full sweep so tests can diff the indexed paths.
+        self._brute_scan = os.environ.get("REPRO_BRUTE_SCAN", "") == "1"
         self.stats = stats if stats is not None else StatCounters()
         self._evictions = self.stats.slot("%s.evictions" % name)
 
@@ -116,13 +129,20 @@ class SetAssocCache:
         self._tags[addr] = line
         line._home = self
         if line._dirty:
-            self._dirty += 1
+            self._dirty_lines[addr] = line
+        index = self.eid_index
+        if index is not None and (line.eid >= 0 or line.sub_eids is not None):
+            index.add(line)
         if len(cache_set) > self.assoc:
             victim = cache_set.pop()
             del self._tags[victim.addr]
             victim._home = None
             if victim._dirty:
-                self._dirty -= 1
+                del self._dirty_lines[victim.addr]
+            if index is not None and (
+                victim.eid >= 0 or victim.sub_eids is not None
+            ):
+                index.discard(victim)
             self._evictions.value += 1
             return victim
         return None
@@ -136,7 +156,10 @@ class SetAssocCache:
         cache_set.remove(line)
         line._home = None
         if line._dirty:
-            self._dirty -= 1
+            del self._dirty_lines[line_addr]
+        index = self.eid_index
+        if index is not None and (line.eid >= 0 or line.sub_eids is not None):
+            index.discard(line)
         return line
 
     def invalidate_all(self):
@@ -146,25 +169,53 @@ class SetAssocCache:
         for cache_set in self._sets:
             cache_set.clear()
         self._tags.clear()
-        self._dirty = 0
+        self._dirty_lines.clear()
+        if self.eid_index is not None:
+            self.eid_index.clear()
 
     # ------------------------------------------------------------------
     # iteration (flush engines, ACS, statistics)
     # ------------------------------------------------------------------
 
     def iter_lines(self):
-        """Iterate over every resident line (no LRU side effects)."""
+        """Iterate over every resident line (no LRU side effects).
+
+        This is the brute-force sweep — O(capacity) — kept for tests and
+        as the ``REPRO_BRUTE_SCAN=1`` differential oracle; production
+        paths read the dirty dict / EID index instead.
+        """
         for cache_set in self._sets:
             for line in cache_set:
                 yield line
 
     def dirty_lines(self):
-        """List the currently dirty lines (snapshot, safe to mutate cache)."""
-        return [line for line in self.iter_lines() if line.dirty]
+        """List the dirty lines in ``iter_lines()`` order (a snapshot).
+
+        Visit order matters: flush engines issue NVM writes per line, and
+        multi-channel timing depends on issue order. The dirty dict knows
+        *which* lines are dirty in O(dirty); regrouping them by set and
+        walking each touched set in MRU order reconstructs the exact order
+        the brute-force sweep would have produced, so index-backed flushes
+        stay bit-identical to the oracle.
+        """
+        if self._brute_scan:
+            return [line for line in self.iter_lines() if line.dirty]
+        dirty = self._dirty_lines
+        if not dirty:
+            return []
+        shift = self._line_shift
+        mask = self._set_mask
+        sets = self._sets
+        out = []
+        for set_id in sorted({(addr >> shift) & mask for addr in dirty}):
+            for line in sets[set_id]:
+                if line._dirty:
+                    out.append(line)
+        return out
 
     def dirty_count(self):
-        """Number of dirty resident lines (running count, O(1))."""
-        return self._dirty
+        """Number of dirty resident lines (dict size, O(1))."""
+        return len(self._dirty_lines)
 
     def resident_count(self):
         """Number of resident lines (running count, O(1))."""

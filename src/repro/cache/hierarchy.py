@@ -26,6 +26,7 @@ latency.
 from repro.common.errors import SimulationError
 from repro.common.stats import StatCounters
 from repro.cache.cache import SetAssocCache
+from repro.cache.eid_index import EidIndex
 from repro.cache.line import CacheLine, LineState
 
 
@@ -102,7 +103,14 @@ class CacheHierarchy:
             llc_latency,
             self.stats,
         )
+        # The LLC carries the EID-array analogue (see repro.cache.eid_index);
+        # private caches only need dirty-line tracking. Attached here, not in
+        # SetAssocCache, because only the shared level is ever ACS-scanned.
+        self.llc.eid_index = EidIndex()
         self.sink = EvictionSink(controller)
+        #: Mirrors SetAssocCache._brute_scan: run the original full-sweep
+        #: sync paths as a differential oracle (REPRO_BRUTE_SCAN=1).
+        self._brute_scan = self.llc._brute_scan
         #: Armed crash plan (None outside fault injection — see repro.fault).
         self.fault_plan = None
         # Pre-resolved counters for the per-access hot path.
@@ -156,7 +164,7 @@ class CacheHierarchy:
             line._dirty = True
             home = line._home
             if home is not None:
-                home._dirty += 1
+                home._dirty_lines[line_addr] = line
         line.state = LineState.MODIFIED
         self._stores.value += 1
         return wait
@@ -223,21 +231,21 @@ class CacheHierarchy:
         line = source.copy_fill(line_addr)
         l1 = self._l1[core]
         # Inlined SetAssocCache.insert (this runs on every L1 miss). The
-        # dirty count is adjusted at pop time, before any merge can flip
+        # dirty dict is updated at pop time, before any merge can flip
         # the victim's dirty bit — same order as the out-of-line insert.
         cache_set = l1._sets[(line_addr >> l1._line_shift) & l1._set_mask]
         cache_set.insert(0, line)
         l1._tags[line_addr] = line
         line._home = l1
         if line._dirty:
-            l1._dirty += 1
+            l1._dirty_lines[line_addr] = line
         if len(cache_set) > l1.assoc:
             victim = cache_set.pop()
             del l1._tags[victim.addr]
             victim._home = None
             l1._evictions.value += 1
             if victim._dirty:
-                l1._dirty -= 1
+                del l1._dirty_lines[victim.addr]
                 self._merge_down(victim, l2, line_addr_level="l2")
         return line, latency + l1.hit_latency, stall
 
@@ -269,20 +277,20 @@ class CacheHierarchy:
         llc_line.owner = core
         line = llc_line.copy_fill(line_addr)
         l2 = self._l2[core]
-        # Inlined SetAssocCache.insert; dirty count adjusted at pop time,
+        # Inlined SetAssocCache.insert; dirty dict updated at pop time,
         # before the L1 merge can re-dirty the victim (see _fill_to_l1).
         cache_set = l2._sets[(line_addr >> l2._line_shift) & l2._set_mask]
         cache_set.insert(0, line)
         l2._tags[line_addr] = line
         line._home = l2
         if line._dirty:
-            l2._dirty += 1
+            l2._dirty_lines[line_addr] = line
         if len(cache_set) > l2.assoc:
             victim = cache_set.pop()
             del l2._tags[victim.addr]
             victim._home = None
             if victim._dirty:
-                l2._dirty -= 1
+                del l2._dirty_lines[victim.addr]
             l2._evictions.value += 1
             dropped = self._l1[core].remove(victim.addr)
             if dropped is not None and dropped._dirty:
@@ -303,21 +311,36 @@ class CacheHierarchy:
         addr = line.addr
         # Inlined SetAssocCache.insert; the back-invalidation below may
         # fold fresher private data into the victim (flipping its dirty
-        # bit), so the dirty count is adjusted at pop time, exactly like
-        # the out-of-line insert did.
+        # bit and retagging it), so the dirty dict and EID index are
+        # updated at pop time — once detached (``_home = None``), the
+        # victim's later mutations no longer reach either structure.
         cache_set = llc._sets[(addr >> llc._line_shift) & llc._set_mask]
         cache_set.insert(0, line)
         llc._tags[addr] = line
         line._home = llc
         if line._dirty:
-            llc._dirty += 1
+            llc._dirty_lines[addr] = line
+        index = llc.eid_index
+        if index is not None and (line.eid >= 0 or line.sub_eids is not None):
+            index.add(line)
         if len(cache_set) <= llc.assoc:
             return 0
         victim = cache_set.pop()
         del llc._tags[victim.addr]
         victim._home = None
         if victim._dirty:
-            llc._dirty -= 1
+            del llc._dirty_lines[victim.addr]
+        # Inlined EidIndex.discard: under PiCL nearly every victim is
+        # tagged, so this runs on every LLC eviction.
+        if index is not None:
+            if victim.sub_eids is not None:
+                index.sub.pop(victim.addr, None)
+            elif victim.eid >= 0:
+                bucket = index.buckets.get(victim.eid)
+                if bucket is not None:
+                    bucket.pop(victim.addr, None)
+                    if not bucket:
+                        del index.buckets[victim.eid]
         llc._evictions.value += 1
         self._back_invalidate(victim)
         if victim._dirty:
@@ -336,12 +359,27 @@ class CacheHierarchy:
     # ------------------------------------------------------------------
 
     def _merge_lines(self, target, source):
-        """Fold a dirty upper-level line into its lower-level copy."""
+        """Fold a dirty upper-level line into its lower-level copy.
+
+        The merge can retag the target (the private copy carries the
+        store's EID) or switch it to sub-block tracking, so when the
+        target lives in an indexed cache its EID-index membership is
+        re-homed afterwards. The guard is inlined — merges run on every
+        dirty eviction, and the common cases (private target, unchanged
+        EID) must not pay a call into the index.
+        """
         target.token = source.token
         target.dirty = True
-        target.eid = source.eid
+        old_eid = target.eid
+        new_eid = source.eid
+        old_had_sub = target.sub_eids is not None
+        target.eid = new_eid
         if source.sub_eids is not None:
             target.sub_eids = list(source.sub_eids)
+        if new_eid != old_eid or (target.sub_eids is not None and not old_had_sub):
+            home = target._home
+            if home is not None and home.eid_index is not None:
+                home.eid_index.refresh(target, old_eid, old_had_sub)
 
     def _merge_down(self, victim, lower_cache, line_addr_level):
         target = lower_cache.lookup(victim.addr, touch=False)
@@ -367,14 +405,14 @@ class CacheHierarchy:
             l1._sets[(addr >> l1._line_shift) & l1._set_mask].remove(l1_copy)
             l1_copy._home = None
             if l1_copy._dirty:
-                l1._dirty -= 1
+                del l1._dirty_lines[addr]
         l2 = self._l2[owner]
         l2_copy = l2._tags.pop(addr, None)
         if l2_copy is not None:
             l2._sets[(addr >> l2._line_shift) & l2._set_mask].remove(l2_copy)
             l2_copy._home = None
             if l2_copy._dirty:
-                l2._dirty -= 1
+                del l2._dirty_lines[addr]
         # L1 holds the freshest data; fall back to L2.
         if l1_copy is not None and l1_copy._dirty:
             self._merge_lines(llc_victim, l1_copy)
@@ -431,29 +469,68 @@ class CacheHierarchy:
         """Fold every dirty private line into the LLC (before a full flush).
 
         L2 is folded before L1 so that when both levels hold dirty copies
-        of a line, the L1's (newer) data wins; a second pass refreshes the
-        private copies from the merged LLC data (see :meth:`_refresh_copy`).
+        of a line, the L1's (newer) data wins; afterwards the private
+        copies at the merged addresses are refreshed from the LLC data
+        (see :meth:`_refresh_copy`).
+
+        The indexed path walks only the private dirty dicts — O(dirty),
+        not O(capacity) — and refreshes only copies at merged addresses.
+        That matches the oracle's refresh-everything pass because a clean
+        private copy at an unmerged address is already identical to its
+        LLC line: merges happen only from the single owner's own copies,
+        and every path that diverges an LLC line from its private copies
+        (stores, merges, syncs) either dirties a private copy or refreshes
+        them all (see sync_private_line), so _refresh_copy would be a
+        no-op there. REPRO_BRUTE_SCAN=1 runs the original full sweep.
         """
-        for core in range(self.n_cores):
-            for cache in (self._l2[core], self._l1[core]):
-                for line in cache.iter_lines():
-                    if line.dirty:
+        if self._brute_scan:
+            for core in range(self.n_cores):
+                for cache in (self._l2[core], self._l1[core]):
+                    for line in cache.iter_lines():
+                        if line.dirty:
+                            target = self.llc.lookup(line.addr, touch=False)
+                            if target is None:
+                                raise SimulationError(
+                                    "inclusion violated: private dirty %#x"
+                                    " not in LLC" % line.addr
+                                )
+                            self._merge_lines(target, line)
+            for core in range(self.n_cores):
+                for cache in (self._l2[core], self._l1[core]):
+                    for line in cache.iter_lines():
                         target = self.llc.lookup(line.addr, touch=False)
-                        if target is None:
-                            raise SimulationError(
-                                "inclusion violated: private dirty %#x not in LLC"
-                                % line.addr
-                            )
-                        self._merge_lines(target, line)
+                        if target is not None:
+                            self._refresh_copy(line, target)
+            return
+        llc_tags = self.llc._tags
         for core in range(self.n_cores):
-            for cache in (self._l2[core], self._l1[core]):
-                for line in cache.iter_lines():
-                    target = self.llc.lookup(line.addr, touch=False)
-                    if target is not None:
-                        self._refresh_copy(line, target)
+            l2 = self._l2[core]
+            l1 = self._l1[core]
+            if not (l2._dirty_lines or l1._dirty_lines):
+                continue
+            synced = {}
+            for cache in (l2, l1):
+                for addr, line in list(cache._dirty_lines.items()):
+                    target = llc_tags.get(addr)
+                    if target is None:
+                        raise SimulationError(
+                            "inclusion violated: private dirty %#x not in LLC"
+                            % addr
+                        )
+                    self._merge_lines(target, line)
+                    synced[addr] = target
+            for addr, target in synced.items():
+                for cache in (l2, l1):
+                    copy = cache._tags.get(addr)
+                    if copy is not None:
+                        self._refresh_copy(copy, target)
 
     def collect_dirty_lines(self):
-        """Snoop everything down and list the dirty LLC lines."""
+        """Snoop everything down and list the dirty LLC lines.
+
+        O(dirty): the sync walks the private dirty dicts and the listing
+        reads the LLC's, in the brute-force sweep's exact visit order.
+        """
         self.sync_all_private()
         return self.llc.dirty_lines()
 

@@ -9,6 +9,12 @@ initially has no EID associated".
 For the OpenPiton-style sub-block tracking ablation, a line can also carry
 per-sub-block EIDs (``sub_eids``); the default 64 B tracking granularity
 leaves it ``None``.
+
+Lines keep their resident cache up to date through the ``_home``
+back-pointer: dirty-bit flips maintain the cache's dirty-line dict, and
+EID retags (via :meth:`set_eid` / :meth:`init_sub_eids`) maintain the
+LLC's :class:`repro.cache.eid_index.EidIndex` — which is how the index
+stays exact without ever being rebuilt by a scan.
 """
 
 from repro.common.eid import EpochId
@@ -48,8 +54,8 @@ class CacheLine:
         #: Optional per-sub-block EIDs for 16 B tracking granularity.
         self.sub_eids = None
         #: The SetAssocCache this line currently resides in (None if none);
-        #: maintained by the cache so dirty-bit flips can keep its running
-        #: dirty count exact without scanning the sets.
+        #: maintained by the cache so dirty flips and EID retags can keep
+        #: its dirty-line dict and EID index exact without scanning.
         self._home = None
 
     @property
@@ -63,7 +69,40 @@ class CacheLine:
             self._dirty = value
             home = self._home
             if home is not None:
-                home._dirty += 1 if value else -1
+                if value:
+                    home._dirty_lines[self.addr] = self
+                else:
+                    del home._dirty_lines[self.addr]
+
+    def set_eid(self, eid):
+        """Retag the line, keeping its home cache's EID index exact.
+
+        Only meaningful for lines at 64 B granularity (``sub_eids is
+        None``); sub-block lines live in the index's dedicated sub bucket
+        regardless of their whole-line ``eid``, so their membership never
+        moves on a retag.
+        """
+        old = self.eid
+        if eid == old:
+            return
+        self.eid = eid
+        if self.sub_eids is None:
+            home = self._home
+            if home is not None and home.eid_index is not None:
+                home.eid_index.retag(self, old)
+
+    def init_sub_eids(self, n_sub_blocks):
+        """Switch the line to sub-block tracking (all sub-EIDs unset).
+
+        Moves the line from its whole-line EID bucket to the index's
+        dedicated sub-block bucket, so it is neither scanned twice nor
+        missed once per-sub-block EIDs take over matching.
+        """
+        old_eid = self.eid
+        self.sub_eids = [EpochId.NONE] * n_sub_blocks
+        home = self._home
+        if home is not None and home.eid_index is not None:
+            home.eid_index.refresh(self, old_eid, False)
 
     def copy_fill(self, addr):
         """Create a new line for an upper level, copying data and EID tag.

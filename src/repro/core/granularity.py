@@ -29,8 +29,22 @@ class GranularityPolicy:
         return line.eid
 
     def apply_store(self, line, system_eid, store_hint):
-        """Tag the line with the executing epoch."""
+        """Tag the line with the executing epoch.
+
+        Inlined ``CacheLine.set_eid`` (this runs on every cross-epoch
+        store, twice — private line and LLC copy): when the line is the
+        LLC copy (undo forwarding retags it without dirtying it), its
+        EID-index bucket must move with the tag; for private lines the
+        guard falls through in three attribute loads.
+        """
+        old = line.eid
+        if system_eid == old:
+            return
         line.eid = system_eid
+        if line.sub_eids is None:
+            home = line._home
+            if home is not None and home.eid_index is not None:
+                home.eid_index.retag(line, old)
 
 
 class SubBlockPolicy(GranularityPolicy):
@@ -52,7 +66,7 @@ class SubBlockPolicy(GranularityPolicy):
     def needs_undo(self, line, system_eid, store_hint):
         """Per-sub-block cross-epoch detection (same contract as the base)."""
         if line.sub_eids is None:
-            line.sub_eids = [EpochId.NONE] * self.SUB_BLOCKS
+            line.init_sub_eids(self.SUB_BLOCKS)
         sub = self._sub_index(store_hint)
         tagged = line.sub_eids[sub]
         if tagged == system_eid:
@@ -60,9 +74,15 @@ class SubBlockPolicy(GranularityPolicy):
         return tagged
 
     def apply_store(self, line, system_eid, store_hint):
-        """Tag the stored sub-block (and the line) with the executing epoch."""
+        """Tag the stored sub-block (and the line) with the executing epoch.
+
+        The None→list switch goes through ``init_sub_eids`` so the LLC
+        copy moves to the index's dedicated sub-block bucket; once there
+        its membership is keyed by residency alone, so the per-sub-block
+        tags and the whole-line ``eid`` can be written raw.
+        """
         if line.sub_eids is None:
-            line.sub_eids = [EpochId.NONE] * self.SUB_BLOCKS
+            line.init_sub_eids(self.SUB_BLOCKS)
         line.sub_eids[self._sub_index(store_hint)] = system_eid
         line.eid = system_eid
 
