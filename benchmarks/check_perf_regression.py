@@ -2,9 +2,15 @@
 
 Runs the shared throughput rows (``perf_common.make_rows``), writes a
 fresh ``BENCH_scan.json``, and compares each row's refs/sec against the
-committed ``benchmarks/results/BENCH_scan.json``. A drop beyond the
-threshold (default 20%) prints a warning — in GitHub-annotation form
-when running under Actions — but the exit code stays 0.
+committed ``benchmarks/results/BENCH_scan.json``. It then runs the
+scalar-vs-columnar matrix (``perf_common.make_columnar_rows``,
+``REPRO_VECTOR=0`` vs ``=1`` interleaved), writes a fresh
+``BENCH_columnar.json``, and warns when a row's columnar *speedup*
+falls materially below the committed one — the interleaved ratio, not
+absolute refs/sec, is the only number comparable across machines. A
+drop beyond the threshold (default 20%) prints a warning — in
+GitHub-annotation form when running under Actions — but the exit code
+stays 0.
 
 Non-gating on purpose: the committed baseline was measured on one
 machine and CI runners are slower, noisier, and heterogeneous, so an
@@ -31,6 +37,9 @@ sys.path.insert(0, os.path.dirname(__file__))
 import perf_common  # noqa: E402
 
 RESULTS = os.path.join(os.path.dirname(__file__), "results", "BENCH_scan.json")
+COLUMNAR = os.path.join(
+    os.path.dirname(__file__), "results", "BENCH_columnar.json"
+)
 
 
 def warn(message):
@@ -59,6 +68,18 @@ def main(argv=None):
     parser.add_argument(
         "--output", default=RESULTS,
         help="where to write this run's BENCH_scan.json",
+    )
+    parser.add_argument(
+        "--columnar-baseline", default=COLUMNAR,
+        help="committed BENCH_columnar.json to compare against",
+    )
+    parser.add_argument(
+        "--columnar-output", default=COLUMNAR,
+        help="where to write this run's BENCH_columnar.json",
+    )
+    parser.add_argument(
+        "--skip-columnar", action="store_true",
+        help="only run the scan rows (skip the REPRO_VECTOR matrix)",
     )
     args = parser.parse_args(argv)
 
@@ -111,6 +132,10 @@ def main(argv=None):
         ),
     )
     print("wrote %s" % args.output)
+
+    if not args.skip_columnar:
+        regressions += check_columnar(args)
+
     if regressions:
         warn(
             "%d row(s) dropped >%.0f%% vs committed baseline — likely "
@@ -118,6 +143,82 @@ def main(argv=None):
             "hot-path change" % (regressions, 100 * args.threshold)
         )
     return 0
+
+
+def check_columnar(args):
+    """Run the REPRO_VECTOR matrix and compare speedups, warn-only.
+
+    Speedup (scalar time / columnar time, interleaved on this machine)
+    is compared instead of refs/sec: it cancels the runner's absolute
+    speed, so it is the one columnar number a heterogeneous CI fleet
+    can meaningfully hold against a committed baseline.
+    """
+    baseline = None
+    if os.path.exists(args.columnar_baseline):
+        baseline = perf_common.load_bench_json(args.columnar_baseline)
+        if baseline.get("protocol") != perf_common.COLUMNAR_PROTOCOL:
+            print(
+                "columnar baseline protocol %r != %r; skipping comparison"
+                % (baseline.get("protocol"), perf_common.COLUMNAR_PROTOCOL)
+            )
+            baseline = None
+    else:
+        print(
+            "no committed baseline at %s; recording only"
+            % args.columnar_baseline
+        )
+
+    passes = max(2, args.passes)  # a ratio from single passes is all noise
+    measurements, overall = perf_common.measure_columnar(passes=passes)
+    print("%-14s %12s %12s %9s %12s" % (
+        "row", "scalar r/s", "columnar r/s", "speedup", "vs-baseline"))
+    regressions = 0
+    for m in measurements:
+        ratio = ""
+        if baseline is not None:
+            base = baseline["rows"].get(m["label"], {}).get("speedup")
+            if base:
+                ratio = "%.2fx" % (m["speedup"] / base)
+                if m["speedup"] < base * (1.0 - args.threshold):
+                    regressions += 1
+                    warn(
+                        "%s: columnar speedup %.2fx vs baseline %.2fx "
+                        "(%.0f%% drop)"
+                        % (
+                            m["label"],
+                            m["speedup"],
+                            base,
+                            100.0 * (1.0 - m["speedup"] / base),
+                        )
+                    )
+        print(
+            "%-14s %12.0f %12.0f %8.2fx %12s"
+            % (
+                m["label"],
+                m["scalar_refs_per_sec"],
+                m["columnar_refs_per_sec"],
+                m["speedup"],
+                ratio,
+            )
+        )
+    print("%-14s %12.0f %12.0f %8.2fx" % (
+        "overall",
+        overall["scalar_refs_per_sec"],
+        overall["columnar_refs_per_sec"],
+        overall["speedup"],
+    ))
+
+    perf_common.write_bench_json(
+        args.columnar_output,
+        perf_common.columnar_payload(
+            measurements,
+            overall,
+            note="%s; check_perf_regression passes=%d"
+            % (perf_common.COLUMNAR_PROTOCOL, passes),
+        ),
+    )
+    print("wrote %s" % args.columnar_output)
+    return regressions
 
 
 if __name__ == "__main__":

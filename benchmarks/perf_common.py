@@ -15,6 +15,12 @@ Rows come in two groups:
   core and 512-instruction epochs. These are the rows that regress if
   the EID-index scan paths ever fall back to sweeping the cache.
 
+A third group (``make_columnar_rows``) times the same simulation under
+``REPRO_VECTOR=0`` and ``=1`` strictly interleaved, producing the
+scalar-vs-columnar matrix in ``BENCH_columnar.json`` — single-core
+plain rows only, since the columnar interpreter serves exactly one
+core.
+
 The protocol is best-of-N passes per row (noise on shared hardware is
 strictly additive, so the fastest pass is the stable statistic), fixed
 seeds, and rates in refs/sec. ``overall`` aggregates every row: summed
@@ -22,6 +28,7 @@ references over summed best-pass times.
 """
 
 import json
+import os
 import time
 
 from repro.common.units import MB
@@ -32,6 +39,9 @@ SEED = 20180101
 
 #: Schema tag for BENCH_scan.json, bumped when rows/protocol change.
 PROTOCOL = "throughput-v2"
+
+#: Schema tag for BENCH_columnar.json (the REPRO_VECTOR=0 vs =1 matrix).
+COLUMNAR_PROTOCOL = "columnar-v1"
 
 
 def make_rows():
@@ -56,6 +66,29 @@ def make_rows():
     ]
 
 
+def make_columnar_rows():
+    """The dual-mode (scalar vs columnar) rows: plain single-core only.
+
+    The columnar interpreter attaches to exactly one in-order core, so
+    every row here is single-core at the historical scale 128. The rows
+    deliberately span the classifier's regimes: gcc (miss-heavy; the
+    self-tuning controller spends most refs in disengaged scalar
+    bursts), lbm and h264ref (long same-line runs; the run-based cost
+    model), and hmmer on both ideal and picl (hit-dominated; the bulk
+    path carries nearly every window and the speedup is largest).
+    """
+    cfg = SystemConfig().scaled(128)
+    n = cfg.epoch_instructions * 4
+    return [
+        ("ideal/gcc", "ideal", "gcc", cfg, n, False, False),
+        ("picl/gcc", "picl", "gcc", cfg, n, False, False),
+        ("picl/lbm", "picl", "lbm", cfg, n, False, False),
+        ("picl/h264ref", "picl", "h264ref", cfg, n, False, False),
+        ("ideal/hmmer", "ideal", "hmmer", cfg, n, False, False),
+        ("picl/hmmer", "picl", "hmmer", cfg, n, False, False),
+    ]
+
+
 def run_row(row):
     """Run one row once; returns (references, elapsed seconds)."""
     _label, scheme, workload, config, n, is_mix, _acs = row
@@ -66,6 +99,94 @@ def run_row(row):
         result = run_single(config, scheme, workload, n, seed=SEED)
     elapsed = time.perf_counter() - start
     return result.stat("loads") + result.stat("stores"), elapsed
+
+
+def run_row_vector(row, vector):
+    """Run one row with the columnar interpreter forced on or off.
+
+    ``REPRO_VECTOR`` is read when the cache hierarchy is built, so it
+    must be pinned in the environment before the simulation is
+    constructed (and restored afterwards, so one measurement cannot
+    leak its mode into the next).
+    """
+    previous = os.environ.get("REPRO_VECTOR")
+    os.environ["REPRO_VECTOR"] = "1" if vector else "0"
+    try:
+        return run_row(row)
+    finally:
+        if previous is None:
+            del os.environ["REPRO_VECTOR"]
+        else:
+            os.environ["REPRO_VECTOR"] = previous
+
+
+def measure_columnar(passes=2, rows=None):
+    """Measure each row in both modes, strictly interleaved.
+
+    Every pass runs scalar then columnar back to back per row, so both
+    modes see the same machine conditions; the fastest pass per mode is
+    kept (noise is additive). Returns (measurements, overall) where each
+    measurement carries both rates and their ratio, and ``overall``
+    aggregates summed refs over summed best times per mode.
+    """
+    if rows is None:
+        rows = make_columnar_rows()
+    measurements = []
+    totals = {"refs": 0, "scalar": 0.0, "columnar": 0.0}
+    for row in rows:
+        refs = None
+        best = {False: None, True: None}
+        for _ in range(passes):
+            for vector in (False, True):
+                row_refs, elapsed = run_row_vector(row, vector)
+                refs = row_refs
+                if best[vector] is None or elapsed < best[vector]:
+                    best[vector] = elapsed
+        measurements.append(
+            {
+                "label": row[0],
+                "refs": refs,
+                "scalar_seconds": best[False],
+                "columnar_seconds": best[True],
+                "scalar_refs_per_sec": refs / best[False],
+                "columnar_refs_per_sec": refs / best[True],
+                "speedup": best[False] / best[True],
+            }
+        )
+        totals["refs"] += refs
+        totals["scalar"] += best[False]
+        totals["columnar"] += best[True]
+    overall = {
+        "scalar_refs_per_sec": totals["refs"] / totals["scalar"],
+        "columnar_refs_per_sec": totals["refs"] / totals["columnar"],
+        "speedup": totals["scalar"] / totals["columnar"],
+    }
+    return measurements, overall
+
+
+def columnar_payload(measurements, overall, note=""):
+    """The machine-readable BENCH_columnar.json payload."""
+    return {
+        "protocol": COLUMNAR_PROTOCOL,
+        "seed": SEED,
+        "note": note,
+        "rows": {
+            m["label"]: {
+                "refs": m["refs"],
+                "scalar_seconds": round(m["scalar_seconds"], 4),
+                "columnar_seconds": round(m["columnar_seconds"], 4),
+                "scalar_refs_per_sec": round(m["scalar_refs_per_sec"]),
+                "columnar_refs_per_sec": round(m["columnar_refs_per_sec"]),
+                "speedup": round(m["speedup"], 3),
+            }
+            for m in measurements
+        },
+        "overall": {
+            "scalar_refs_per_sec": round(overall["scalar_refs_per_sec"]),
+            "columnar_refs_per_sec": round(overall["columnar_refs_per_sec"]),
+            "speedup": round(overall["speedup"], 3),
+        },
+    }
 
 
 def measure(passes=2, rows=None):

@@ -9,12 +9,18 @@ Usage (from the repo root)::
     PYTHONPATH=src python benchmarks/profile_hotpath.py \
         --scheme picl --bench lbm --scale 128
     PYTHONPATH=src python benchmarks/profile_hotpath.py --row picl/W2/acs
+    PYTHONPATH=src python benchmarks/profile_hotpath.py \
+        --row picl/hmmer --vector on --sort tottime
 
 ``--row`` profiles one of the named throughput rows (exact config the
-bench times, see perf_common.make_rows); ``--scheme/--bench/--scale``
-builds an ad-hoc single-core (or, with ``--cores``, multi-core mix) row.
-Sorting/limits mirror ``python -m repro <fig> --profile`` but this runs
-one row in-process, no experiment plumbing around it.
+bench times, see perf_common.make_rows and make_columnar_rows);
+``--scheme/--bench/--scale`` builds an ad-hoc single-core (or, with
+``--cores``, multi-core mix) row. ``--vector on|off`` pins
+``REPRO_VECTOR`` so the columnar interpreter's hot path (``bulk_span``
+vs ``scalar_span`` vs ``L1TagMirror.sync`` time split) can be profiled
+against the scalar loop on the identical simulation. Sorting/limits
+mirror ``python -m repro <fig> --profile`` but this runs one row
+in-process, no experiment plumbing around it.
 """
 
 import argparse
@@ -32,10 +38,11 @@ from repro.sim.config import SystemConfig  # noqa: E402
 
 def build_row(args):
     if args.row is not None:
-        for row in perf_common.make_rows():
+        rows = perf_common.make_rows() + perf_common.make_columnar_rows()
+        for row in rows:
             if row[0] == args.row:
                 return row
-        labels = ", ".join(r[0] for r in perf_common.make_rows())
+        labels = ", ".join(dict.fromkeys(r[0] for r in rows))
         raise SystemExit("unknown row %r (have: %s)" % (args.row, labels))
     config = SystemConfig().scaled(args.scale, n_cores=args.cores)
     n = config.epoch_instructions * args.epochs
@@ -56,12 +63,22 @@ def main(argv=None):
         "--sort", default="cumulative", help="pstats sort key (default: cumulative)"
     )
     parser.add_argument("--limit", type=int, default=30, help="rows to print")
+    parser.add_argument(
+        "--vector", choices=("on", "off"),
+        help="pin REPRO_VECTOR for the profiled run (default: inherit the "
+        "environment, i.e. the columnar interpreter on single-core rows)",
+    )
     args = parser.parse_args(argv)
 
     # Profile real simulation work, not result-cache reads.
     os.environ.setdefault("REPRO_NO_CACHE", "1")
+    if args.vector is not None:
+        os.environ["REPRO_VECTOR"] = "1" if args.vector == "on" else "0"
     row = build_row(args)
-    print("profiling row %s (%d instructions)" % (row[0], row[4]))
+    print(
+        "profiling row %s (%d instructions, REPRO_VECTOR=%s)"
+        % (row[0], row[4], os.environ.get("REPRO_VECTOR", "1"))
+    )
     profiler = cProfile.Profile()
     profiler.enable()
     refs, elapsed = perf_common.run_row(row)

@@ -23,11 +23,15 @@ every row.
 import os
 
 from perf_common import (
+    COLUMNAR_PROTOCOL,
     PROTOCOL,
     SEED,
     bench_payload,
+    columnar_payload,
+    make_columnar_rows,
     make_rows,
     measure,
+    measure_columnar,
     write_bench_json,
 )
 
@@ -100,3 +104,76 @@ def test_perf_throughput(benchmark, archive):
         assert m["refs_per_sec"] > 0
     # Both gcc runs see the identical trace, so identical reference counts.
     assert by_label["ideal/gcc"]["refs"] == by_label["picl/gcc"]["refs"]
+
+
+def format_columnar(measurements, overall):
+    lines = [
+        "%-14s %10s %12s %12s %9s"
+        % ("row", "refs", "scalar r/s", "columnar r/s", "speedup")
+    ]
+    for m in measurements:
+        lines.append(
+            "%-14s %10d %12.0f %12.0f %8.2fx"
+            % (
+                m["label"],
+                m["refs"],
+                m["scalar_refs_per_sec"],
+                m["columnar_refs_per_sec"],
+                m["speedup"],
+            )
+        )
+    lines.append(
+        "%-14s %10s %12.0f %12.0f %8.2fx"
+        % (
+            "overall",
+            "",
+            overall["scalar_refs_per_sec"],
+            overall["columnar_refs_per_sec"],
+            overall["speedup"],
+        )
+    )
+    return "\n".join(lines)
+
+
+def test_perf_columnar(benchmark, archive):
+    """Scalar vs columnar interpreter, measured strictly interleaved.
+
+    Both modes run the identical simulation (``REPRO_VECTOR=0`` vs
+    ``=1``; bit-identity is asserted by tests/sim/test_vectorized.py)
+    back to back within each pass, so the per-row speedup column is the
+    one number that survives machine noise. Assertions stay sanity-level
+    — absolute refs/sec is machine-dependent and the speedup on
+    miss-heavy rows is legitimately ~1x (Amdahl: the interpreter loop is
+    a minority of their wall clock) — the archived table and
+    ``results/BENCH_columnar.json`` carry the perf story.
+    """
+    measurements, overall = benchmark.pedantic(
+        measure_columnar, rounds=1, iterations=1
+    )
+    archive(
+        "perf_columnar",
+        "Scalar vs columnar interpreter (seed=%d; rows per "
+        "perf_common.make_columnar_rows; REPRO_VECTOR=0 vs =1 interleaved, "
+        "best of 2 passes per mode; overall = all rows)" % SEED,
+        format_columnar(measurements, overall),
+    )
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    write_bench_json(
+        os.path.join(results_dir, "BENCH_columnar.json"),
+        columnar_payload(
+            measurements,
+            overall,
+            note="%s; best-of-2 passes per mode, interleaved" % COLUMNAR_PROTOCOL,
+        ),
+    )
+    by_label = {m["label"]: m for m in measurements}
+    assert set(by_label) == {row[0] for row in make_columnar_rows()}
+    for m in measurements:
+        # Identical refs in both modes is implied by construction (one
+        # refs count per row); check it ran end to end at sane volume.
+        assert m["refs"] > 50_000, m["label"]
+        assert m["scalar_refs_per_sec"] > 0
+        assert m["columnar_refs_per_sec"] > 0
+    # Trace identity across schemes, as for the scan rows.
+    assert by_label["ideal/hmmer"]["refs"] == by_label["picl/hmmer"]["refs"]

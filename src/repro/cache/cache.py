@@ -64,6 +64,10 @@ class SetAssocCache:
         #: Optional EID-array analogue (the hierarchy attaches one to the
         #: LLC); None for private caches, which only need dirty tracking.
         self.eid_index = None
+        #: Optional numpy tag/EID mirror for the columnar interpreter (the
+        #: hierarchy attaches one to the single core's L1 under
+        #: ``REPRO_VECTOR``); every residency change must keep it coherent.
+        self._vec = None
         #: Differential escape hatch: recompute dirty_lines() by the
         #: original full sweep so tests can diff the indexed paths.
         self._brute_scan = os.environ.get("REPRO_BRUTE_SCAN", "") == "1"
@@ -133,6 +137,7 @@ class SetAssocCache:
         index = self.eid_index
         if index is not None and (line.eid >= 0 or line.sub_eids is not None):
             index.add(line)
+        victim = None
         if len(cache_set) > self.assoc:
             victim = cache_set.pop()
             del self._tags[victim.addr]
@@ -144,8 +149,12 @@ class SetAssocCache:
             ):
                 index.discard(victim)
             self._evictions.value += 1
-            return victim
-        return None
+        if self._vec is not None:
+            self._vec.pending.append(line)
+            if victim is not None:
+                self._vec.removed.append(victim.addr)
+                self._vec.evictq.append(victim)
+        return victim
 
     def remove(self, line_addr):
         """Remove and return the line at ``line_addr`` (None if absent)."""
@@ -157,6 +166,9 @@ class SetAssocCache:
         line._home = None
         if line._dirty:
             del self._dirty_lines[line_addr]
+        if self._vec is not None:
+            self._vec.removed.append(line_addr)
+            self._vec.evictq.append(line)
         index = self.eid_index
         if index is not None and (line.eid >= 0 or line.sub_eids is not None):
             index.discard(line)
@@ -166,10 +178,13 @@ class SetAssocCache:
         """Drop every line (models power loss: SRAM contents vanish)."""
         for line in self._tags.values():
             line._home = None
+            line._vslot = -1
         for cache_set in self._sets:
             cache_set.clear()
         self._tags.clear()
         self._dirty_lines.clear()
+        if self._vec is not None:
+            self._vec.clear()
         if self.eid_index is not None:
             self.eid_index.clear()
 

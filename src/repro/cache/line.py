@@ -41,6 +41,7 @@ class CacheLine:
         "owner",
         "sub_eids",
         "_home",
+        "_vslot",
     )
 
     def __init__(self, addr, token=0, state=LineState.EXCLUSIVE, owner=None):
@@ -57,6 +58,9 @@ class CacheLine:
         #: maintained by the cache so dirty flips and EID retags can keep
         #: its dirty-line dict and EID index exact without scanning.
         self._home = None
+        #: Claimed way slot in the L1's columnar tag mirror (-1 if none);
+        #: assigned lazily by L1TagMirror.sync, not at fill time.
+        self._vslot = -1
 
     @property
     def dirty(self):
@@ -123,6 +127,7 @@ class CacheLine:
         sub_eids = self.sub_eids
         line.sub_eids = list(sub_eids) if sub_eids is not None else None
         line._home = None
+        line._vslot = -1
         return line
 
     def __repr__(self):

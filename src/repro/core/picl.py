@@ -174,6 +174,23 @@ class PiclScheme(CrashConsistencyScheme):
         self._store_seq += count
         return 0
 
+    def vector_store_filter(self):
+        """Columnar store filter: same-epoch store hits are the cheap branch.
+
+        With line-granularity tracking and no hard log cap, a store to an
+        L1 line already tagged with the executing epoch takes the cheap
+        branch of :meth:`on_store` — only ``_store_seq`` advances, which
+        :meth:`on_store_bulk` reproduces. Any other configuration (log
+        cap, sub-block tracking) makes every store potentially visible,
+        so the columnar path must replay them all exactly.
+        """
+        if self._plain_stores:
+            return self.epochs.system_eid
+        return False
+
+    def on_store_bulk(self, count):
+        self._store_seq += count
+
     def _relieve_log_pressure(self, now):
         """Force a persist when a hard-capped log is nearly full.
 
