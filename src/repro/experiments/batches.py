@@ -1,0 +1,83 @@
+"""Figure batches: a whole figure as one schedulable unit of work.
+
+The sweep service (and anything else that wants to run "all of Fig 9"
+without caring how it decomposes) looks figures up here. Each entry
+knows how to expand itself into keyed :class:`~repro.sim.parallel.RunPoint`
+pairs and how to render a ``{key: result}`` map back into exactly the
+table the figure's own ``main()`` prints — so a batch submitted through
+the daemon is byte-identical, banner included, to the serial CLI run.
+
+Figures register by exposing ``points(preset, benchmarks=None,
+epochs=None)`` / ``tabulate(results)`` / ``TITLE`` (see
+:mod:`repro.experiments.fig09`); adding one here makes it submittable
+via ``repro submit <name>`` and the protocol's ``figure`` form.
+"""
+
+import dataclasses
+
+from repro.experiments.presets import get_preset
+
+
+@dataclasses.dataclass(frozen=True)
+class FigureBatch:
+    """One registered figure: decomposition plus rendering."""
+
+    name: str
+    title: str
+    points: object  # (preset=None, benchmarks=None, epochs=None) -> pairs
+    render: object  # ({key: result}, preset) -> table text
+
+
+def _fig09():
+    from repro.experiments import fig09
+
+    return FigureBatch(
+        "fig09",
+        fig09.TITLE,
+        fig09.points,
+        lambda results, preset: fig09.format_result(fig09.tabulate(results)),
+    )
+
+
+def _fig15():
+    from repro.experiments import fig15
+
+    return FigureBatch(
+        "fig15",
+        fig15.TITLE,
+        fig15.points,
+        lambda results, preset: fig15.format_result(
+            fig15.tabulate(results),
+            get_preset(preset).config().llc_size_per_core // 1024,
+        ),
+    )
+
+
+_REGISTRY = {
+    "fig09": _fig09,
+    "fig15": _fig15,
+}
+
+
+def figure_names():
+    """The figures submittable as service batches."""
+    return sorted(_REGISTRY)
+
+
+def get_figure(name):
+    """The :class:`FigureBatch` for ``name`` (KeyError names the known)."""
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            "unknown figure batch %r; known: %s"
+            % (name, ", ".join(figure_names()))
+        ) from None
+    return builder()
+
+
+def figure_points(name, preset=None, benchmarks=None, epochs=None):
+    """Decompose ``name`` into its ``(key, RunPoint)`` pairs."""
+    return get_figure(name).points(
+        preset, benchmarks=benchmarks, epochs=epochs
+    )

@@ -17,15 +17,23 @@ from repro.trace.profiles import BENCHMARKS
 #: The schemes Fig 9 plots, in its legend order.
 SCHEMES = ("journaling", "shadow", "frm", "thynvm", "picl")
 
+#: The banner both ``repro fig09`` and ``repro submit fig09`` print.
+TITLE = (
+    "Fig 9: single-core execution time normalized to Ideal NVM "
+    "(lower is better)"
+)
 
-def run(preset=None, benchmarks=None, epochs=None, jobs=None, cache=None):
-    """Returns {benchmark: {scheme: normalized_execution_time}}."""
+
+def points(preset=None, benchmarks=None, epochs=None):
+    """The figure's grid as ``((benchmark, scheme), RunPoint)`` pairs.
+
+    This is the unit the sweep service schedules: a whole figure
+    submitted as one batch (see :mod:`repro.experiments.batches`).
+    """
     preset = get_preset(preset)
     config = preset.config()
     n_instructions = preset.instructions(config, epochs)
     benchmarks = benchmarks if benchmarks is not None else BENCHMARKS
-    if cache is None:
-        cache = ResultCache.from_env()
     pairs = []
     for index, benchmark in enumerate(benchmarks):
         seed = preset.seed + index * 7919
@@ -36,7 +44,15 @@ def run(preset=None, benchmarks=None, epochs=None, jobs=None, cache=None):
                     RunPoint.single(config, scheme, benchmark, n_instructions, seed),
                 )
             )
-    results = run_keyed(pairs, jobs=jobs, cache=cache)
+    return pairs
+
+
+def tabulate(results):
+    """``{(benchmark, scheme): result}`` -> the figure's normalized rows."""
+    benchmarks = []
+    for benchmark, _scheme in results:
+        if benchmark not in benchmarks:
+            benchmarks.append(benchmark)
     normalized = {}
     for benchmark in benchmarks:
         ideal = results[(benchmark, "ideal")]
@@ -45,6 +61,14 @@ def run(preset=None, benchmarks=None, epochs=None, jobs=None, cache=None):
             for scheme in SCHEMES
         }
     return normalized
+
+
+def run(preset=None, benchmarks=None, epochs=None, jobs=None, cache=None):
+    """Returns {benchmark: {scheme: normalized_execution_time}}."""
+    if cache is None:
+        cache = ResultCache.from_env()
+    pairs = points(preset, benchmarks=benchmarks, epochs=epochs)
+    return tabulate(run_keyed(pairs, jobs=jobs, cache=cache))
 
 
 def add_gmean(normalized):
@@ -72,12 +96,7 @@ def main(argv=None):
     argv = argv if argv is not None else sys.argv[1:]
     preset_name, jobs = parse_experiment_argv(argv)
     preset = get_preset(preset_name)
-    print_header(
-        "Fig 9: single-core execution time normalized to Ideal NVM "
-        "(lower is better)",
-        preset,
-        preset.config(),
-    )
+    print_header(TITLE, preset, preset.config())
     print(format_result(run(preset, jobs=jobs)))
 
 

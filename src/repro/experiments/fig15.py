@@ -25,19 +25,17 @@ LLC_MULTIPLIERS = (1, 2, 4, 8)
 #: be 29x4x6 runs).
 BENCHMARKS = ("gcc", "bzip2", "lbm", "gobmk")
 
+#: The banner both ``repro fig15`` and ``repro submit fig15`` print.
+TITLE = (
+    "Fig 15: gmean execution time normalized to Ideal NVM vs LLC size "
+    "(lower is better)"
+)
 
-def run(
-    preset=None,
-    benchmarks=BENCHMARKS,
-    multipliers=LLC_MULTIPLIERS,
-    epochs=None,
-    jobs=None,
-    cache=None,
-):
-    """Returns {multiplier: {scheme: gmean_normalized_execution}}."""
+
+def points(preset=None, benchmarks=None, multipliers=LLC_MULTIPLIERS, epochs=None):
+    """The sweep as ``((multiplier, benchmark, scheme), RunPoint)`` pairs."""
     preset = get_preset(preset)
-    if cache is None:
-        cache = ResultCache.from_env()
+    benchmarks = benchmarks if benchmarks is not None else BENCHMARKS
     pairs = []
     for multiplier in multipliers:
         base = preset.config()
@@ -56,7 +54,18 @@ def run(
                         ),
                     )
                 )
-    results = run_keyed(pairs, jobs=jobs, cache=cache)
+    return pairs
+
+
+def tabulate(results):
+    """``{(mult, benchmark, scheme): result}`` -> the per-size gmeans."""
+    multipliers = []
+    benchmarks = []
+    for multiplier, benchmark, _scheme in results:
+        if multiplier not in multipliers:
+            multipliers.append(multiplier)
+        if benchmark not in benchmarks:
+            benchmarks.append(benchmark)
     sweep = {}
     for multiplier in multipliers:
         per_scheme = {scheme: [] for scheme in SCHEMES}
@@ -70,6 +79,23 @@ def run(
             scheme: geomean(values) for scheme, values in per_scheme.items()
         }
     return sweep
+
+
+def run(
+    preset=None,
+    benchmarks=BENCHMARKS,
+    multipliers=LLC_MULTIPLIERS,
+    epochs=None,
+    jobs=None,
+    cache=None,
+):
+    """Returns {multiplier: {scheme: gmean_normalized_execution}}."""
+    if cache is None:
+        cache = ResultCache.from_env()
+    pairs = points(
+        preset, benchmarks=benchmarks, multipliers=multipliers, epochs=epochs
+    )
+    return tabulate(run_keyed(pairs, jobs=jobs, cache=cache))
 
 
 def format_result(sweep, base_llc_kb):
@@ -88,12 +114,7 @@ def main(argv=None):
     preset_name, jobs = parse_experiment_argv(argv)
     preset = get_preset(preset_name)
     config = preset.config()
-    print_header(
-        "Fig 15: gmean execution time normalized to Ideal NVM vs LLC size "
-        "(lower is better)",
-        preset,
-        config,
-    )
+    print_header(TITLE, preset, config)
     print(format_result(run(preset, jobs=jobs), config.llc_size_per_core // 1024))
 
 

@@ -1,0 +1,207 @@
+"""Synchronous JSON-line client for the sweep service.
+
+``repro submit``/``repro status`` (and the tests) talk to the daemon
+through this. It is deliberately plain blocking-socket code: a client
+submits, then sits in a read loop collecting streamed ``point`` events
+until ``done`` — reassembling completion-ordered arrivals back into
+input order by each event's ``index``.
+"""
+
+import os
+import socket
+import time
+
+from repro.service import protocol
+from repro.service.server import default_socket_path
+from repro.sim.parallel import PointExecutionError
+
+
+class ServiceUnavailableError(ConnectionError):
+    """No daemon is answering at the requested endpoint."""
+
+
+class ServiceClient:
+    """One connection to a running daemon.
+
+    ``tcp`` is a ``(host, port)`` pair; otherwise the unix socket at
+    ``socket_path`` (default: the default spool's socket) is used.
+    Usable as a context manager.
+    """
+
+    def __init__(self, socket_path=None, tcp=None, connect_timeout=30.0):
+        if tcp:
+            host, port = tcp
+            self._sock = socket.create_connection(
+                (host, int(port)), timeout=connect_timeout
+            )
+        else:
+            path = socket_path or default_socket_path()
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(connect_timeout)
+            self._sock.connect(path)
+        # Streaming reads must wait as long as the simulation does.
+        self._sock.settimeout(None)
+        self._file = self._sock.makefile("rwb")
+        self.last_summary = None
+        self.last_sources = None
+
+    def close(self):
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc):
+        self.close()
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    def _send(self, message):
+        self._file.write(protocol.dumps(message))
+        self._file.flush()
+
+    def _recv(self):
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        message = protocol.loads(line)
+        if message.get("event") == "error":
+            raise PointExecutionError("server error: %s" % message.get("error"))
+        return message
+
+    # ------------------------------------------------------------------
+    # simple ops
+    # ------------------------------------------------------------------
+
+    def ping(self):
+        """True if the daemon answers; raises on a dead endpoint."""
+        self._send({"op": "ping"})
+        return self._recv().get("event") == "pong"
+
+    def status(self):
+        """The daemon's status snapshot (queues, events, cache, spool)."""
+        self._send({"op": "status"})
+        return self._recv()["data"]
+
+    def shutdown(self):
+        """Ask the daemon to exit cleanly."""
+        self._send({"op": "shutdown"})
+        try:
+            self._recv()
+        except ConnectionError:
+            pass
+
+    # ------------------------------------------------------------------
+    # batches
+    # ------------------------------------------------------------------
+
+    def submit_points(self, points, batch_id=None, on_event=None):
+        """Run ``points`` on the farm; returns results in input order.
+
+        Streams partial results (``on_event`` sees every raw ``point`` /
+        ``point_error`` message as it arrives). Raises
+        :class:`PointExecutionError` if any point terminally failed,
+        after the stream completes.
+        """
+        points = list(points)
+        batch_id = batch_id or os.urandom(8).hex()
+        self._send(protocol.submit_points(batch_id, points))
+        return self._collect(len(points), on_event)
+
+    def submit_figure(
+        self, figure, preset=None, benchmarks=None, epochs=None, on_event=None
+    ):
+        """Have the *server* decompose a registered figure and run it.
+
+        Returns ``{key_tuple: result}`` keyed exactly as the figure's
+        ``points()`` builder keys its grid.
+        """
+        self._send(
+            protocol.submit_figure(
+                os.urandom(8).hex(),
+                figure,
+                preset=preset,
+                benchmarks=benchmarks,
+                epochs=epochs,
+            )
+        )
+        accepted = self._recv()
+        keys = [tuple(key) for key in accepted["keys"]]
+        results = self._stream(accepted, on_event)
+        return dict(zip(keys, results))
+
+    def _collect(self, n_points, on_event):
+        accepted = self._recv()
+        if accepted.get("event") != "accepted":
+            raise PointExecutionError(
+                "expected accepted, got %r" % (accepted,)
+            )
+        if accepted["n_points"] != n_points:
+            raise PointExecutionError(
+                "server accepted %d points, sent %d"
+                % (accepted["n_points"], n_points)
+            )
+        return self._stream(accepted, on_event)
+
+    def _stream(self, accepted, on_event):
+        results = [None] * accepted["n_points"]
+        errors = []
+        while True:
+            message = self._recv()
+            event = message.get("event")
+            if event == "point":
+                results[message["index"]] = protocol.decode_payload(
+                    message["result"]
+                )
+                if on_event is not None:
+                    on_event(message)
+            elif event == "point_error":
+                errors.append((message["index"], message["error"]))
+                if on_event is not None:
+                    on_event(message)
+            elif event == "done":
+                self.last_summary = message
+                self.last_sources = message.get("sources")
+                break
+            # Anything else (future protocol additions) is skipped.
+        if errors:
+            raise PointExecutionError(
+                "%d point(s) failed: %s"
+                % (
+                    len(errors),
+                    "; ".join(
+                        "index %d: %s" % (index, error)
+                        for index, error in errors
+                    ),
+                )
+            )
+        return results
+
+
+def wait_until_ready(socket_path=None, tcp=None, timeout=30.0, interval=0.1):
+    """Block until a daemon answers a ping at the endpoint (or raise).
+
+    The daemon takes a moment to import and bind after being spawned;
+    tests and the CI smoke use this instead of sleeping.
+    """
+    deadline = time.monotonic() + timeout
+    last_error = None
+    while time.monotonic() < deadline:
+        try:
+            with ServiceClient(
+                socket_path=socket_path, tcp=tcp, connect_timeout=interval + 1
+            ) as client:
+                if client.ping():
+                    return True
+        except (OSError, ConnectionError) as exc:
+            last_error = exc
+        time.sleep(interval)
+    raise ServiceUnavailableError(
+        "no sweep service at %s after %.1fs (%s)"
+        % (tcp or socket_path or default_socket_path(), timeout, last_error)
+    )

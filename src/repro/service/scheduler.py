@@ -1,0 +1,346 @@
+"""The event-loop scheduler: dedupe, fairness, dispatch, write-through.
+
+One :class:`Scheduler` owns all execution state of a running daemon:
+
+* **Dedupe.** Every submitted point is resolved in order against the
+  checkpoint journal (finished this daemon lifetime or a previous one),
+  the shared on-disk :class:`~repro.sim.parallel.ResultCache`, and the
+  in-flight table. Only a genuinely novel digest is enqueued; concurrent
+  clients asking for the same digest share one future and therefore one
+  execution.
+* **Fairness.** Pending work is kept as per-client queues of same-trace
+  units (see :func:`repro.sim.parallel.trace_batches`); the dispatcher
+  pops units round-robin across clients, so a client submitting a
+  29-benchmark figure cannot starve one submitting a single point.
+* **Dispatch.** Up to ``jobs`` units run concurrently, each on an
+  executor thread driving :func:`~repro.sim.parallel.execute_batch_with_retry`
+  — an isolated, killable child process with capped-backoff retries.
+  Worker SIGKILL surfaces as a ``retry`` event, not a lost point.
+* **Write-through.** A finished point is appended to the checkpoint
+  journal and stored in the result cache *before* its future resolves,
+  so no client can observe a result the daemon could later lose.
+
+The scheduler must be driven from a single asyncio event loop
+(``submit`` and ``start``/``close`` are loop-side); only the event log
+and the runner are touched from executor threads.
+"""
+
+import asyncio
+import collections
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.service.events import EventLog
+from repro.sim.parallel import (
+    DEFAULT_BACKOFF,
+    PointExecutionError,
+    execute_batch_with_retry,
+    fault_env,
+    kill_isolated_processes,
+    point_digest,
+    resolve_jobs,
+    trace_batches,
+)
+
+
+class _Unit:
+    """One dispatchable same-trace batch owned by one client."""
+
+    __slots__ = ("client", "batch_id", "entries")
+
+    def __init__(self, client, batch_id, entries):
+        self.client = client
+        self.batch_id = batch_id
+        self.entries = entries  # [(digest, point, future), ...]
+
+
+def _silence(future):
+    """Mark a future's exception retrieved (no-waiter recovery batches)."""
+    if not future.cancelled():
+        future.exception()
+
+
+class Scheduler:
+    """See module docstring. ``runner`` injects an execution function
+    ``runner(points) -> results`` for tests; the default is the isolated
+    retrying machinery honoring ``timeout``/``retries``/``backoff``
+    (which themselves default to ``REPRO_POINT_TIMEOUT`` /
+    ``REPRO_RETRIES``).
+    """
+
+    def __init__(
+        self,
+        jobs=None,
+        cache=None,
+        checkpoint=None,
+        events=None,
+        timeout=None,
+        retries=None,
+        backoff=DEFAULT_BACKOFF,
+        runner=None,
+    ):
+        self.jobs = resolve_jobs(jobs)
+        self.cache = cache
+        self.checkpoint = checkpoint
+        self.events = events if events is not None else EventLog()
+        env_timeout, env_retries = fault_env()
+        self.timeout = env_timeout if timeout is None else timeout
+        self.retries = env_retries if retries is None else retries
+        self.backoff = backoff
+        self._runner = runner
+        self._inflight = {}  # digest -> asyncio.Future (unresolved only)
+        self._queues = collections.OrderedDict()  # client -> deque[_Unit]
+        self._rotation = 0
+        self._wakeup = None  # asyncio.Event, created in start()
+        self._slots = None  # asyncio.Semaphore(jobs), created in start()
+        self._dispatcher = None
+        self._unit_tasks = set()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.jobs, thread_name_prefix="sweep-unit"
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self):
+        """Start the dispatcher on the running event loop."""
+        self._wakeup = asyncio.Event()
+        self._slots = asyncio.Semaphore(self.jobs)
+        self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
+
+    async def close(self):
+        """Stop dispatching, kill live workers, fail queued futures."""
+        self._closed = True
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+        # Deliberately killed children must not be retried or relaunched;
+        # their waiting unit tasks fail fast with WorkerCrashError.
+        kill_isolated_processes()
+        for queue in self._queues.values():
+            for unit in queue:
+                for digest, _point, future in unit.entries:
+                    self._inflight.pop(digest, None)
+                    if not future.done():
+                        future.cancel()
+        self._queues.clear()
+        if self._unit_tasks:
+            await asyncio.gather(*self._unit_tasks, return_exceptions=True)
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # submission (event-loop side)
+    # ------------------------------------------------------------------
+
+    def submit(self, client, points, batch_id=None):
+        """Resolve-or-enqueue every point for ``client``.
+
+        Returns ``[(future, source), ...]`` in input order; ``source`` is
+        how the point was answered: ``journal`` / ``cache`` (already
+        done), ``joined`` (another client's in-flight execution), or
+        ``queued`` (novel work enqueued now).
+        """
+        if self._closed:
+            raise RuntimeError("scheduler is closed")
+        loop = asyncio.get_event_loop()
+        out = []
+        fresh = []  # (digest, point, future) needing execution
+        for point in points:
+            digest = point_digest(point)
+            journaled = (
+                self.checkpoint.get(digest) if self.checkpoint is not None else None
+            )
+            if journaled is not None:
+                future = loop.create_future()
+                future.set_result(journaled)
+                self.events.append(
+                    "journal_hit", digest=digest, client=client, batch=batch_id
+                )
+                out.append((future, "journal"))
+                continue
+            inflight = self._inflight.get(digest)
+            if inflight is not None:
+                self.events.append(
+                    "join", digest=digest, client=client, batch=batch_id
+                )
+                out.append((inflight, "joined"))
+                continue
+            cached = self.cache.load(point) if self.cache is not None else None
+            if cached is not None:
+                if self.checkpoint is not None:
+                    self.checkpoint.record_digest(digest, cached)
+                future = loop.create_future()
+                future.set_result(cached)
+                self.events.append(
+                    "cache_hit", digest=digest, client=client, batch=batch_id
+                )
+                out.append((future, "cache"))
+                continue
+            future = loop.create_future()
+            self._inflight[digest] = future
+            fresh.append((digest, point, future))
+            self.events.append(
+                "enqueue", digest=digest, client=client, batch=batch_id
+            )
+            out.append((future, "queued"))
+        if fresh:
+            queue = self._queues.setdefault(client, collections.deque())
+            fresh_points = [point for _digest, point, _future in fresh]
+            for indices in trace_batches(fresh_points, range(len(fresh))):
+                queue.append(
+                    _Unit(client, batch_id, [fresh[i] for i in indices])
+                )
+            if self._wakeup is not None:  # submits before start() just queue
+                self._wakeup.set()
+        return out
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def _next_unit(self):
+        """Pop the next unit, rotating across clients for fairness."""
+        clients = list(self._queues)
+        if not clients:
+            return None
+        n = len(clients)
+        for step in range(n):
+            client = clients[(self._rotation + step) % n]
+            queue = self._queues[client]
+            if queue:
+                unit = queue.popleft()
+                if not queue:
+                    del self._queues[client]
+                # Resume *after* the client we just served.
+                self._rotation = (self._rotation + step + 1) % max(
+                    1, len(self._queues)
+                )
+                return unit
+            del self._queues[client]
+        return None
+
+    async def _dispatch_loop(self):
+        while True:
+            # Acquire the slot *before* popping a unit: if close() cancels
+            # us while we hold a popped unit at an await point, that unit
+            # would vanish with its futures forever pending.
+            await self._slots.acquire()
+            try:
+                while True:
+                    unit = self._next_unit()
+                    if unit is not None:
+                        break
+                    self._wakeup.clear()
+                    await self._wakeup.wait()
+            except BaseException:
+                self._slots.release()
+                raise
+            task = asyncio.ensure_future(self._run_unit(unit))
+            self._unit_tasks.add(task)
+            task.add_done_callback(self._unit_tasks.discard)
+
+    def _execute(self, unit):
+        """Executor-thread side: run the unit's points to completion."""
+        points = [point for _digest, point, _future in unit.entries]
+        if self._runner is not None:
+            return self._runner(points)
+
+        def on_retry(attempt, delay, exc):
+            # Thread-safe: EventLog locks internally.
+            self.events.append(
+                "retry",
+                digests=[digest for digest, _p, _f in unit.entries],
+                client=unit.client,
+                batch=unit.batch_id,
+                attempt=attempt,
+                delay=delay,
+                error=str(exc),
+            )
+
+        return execute_batch_with_retry(
+            points,
+            timeout=self.timeout,
+            retries=self.retries,
+            backoff=self.backoff,
+            on_retry=on_retry,
+            should_retry=lambda: not self._closed,
+        )
+
+    async def _run_unit(self, unit):
+        loop = asyncio.get_event_loop()
+        self.events.append(
+            "dispatch",
+            digests=[digest for digest, _p, _f in unit.entries],
+            client=unit.client,
+            batch=unit.batch_id,
+        )
+        try:
+            results = await loop.run_in_executor(
+                self._executor, self._execute, unit
+            )
+        except asyncio.CancelledError:
+            for digest, _point, future in unit.entries:
+                self._inflight.pop(digest, None)
+                if not future.done():
+                    future.cancel()
+            raise
+        except Exception as exc:
+            if not isinstance(exc, PointExecutionError):
+                exc = PointExecutionError(
+                    "unit execution failed: %r" % (exc,)
+                )
+            for digest, _point, future in unit.entries:
+                self._inflight.pop(digest, None)
+                self.events.append(
+                    "failed",
+                    digest=digest,
+                    client=unit.client,
+                    batch=unit.batch_id,
+                    error=str(exc),
+                )
+                if not future.done():
+                    future.add_done_callback(_silence)
+                    future.set_exception(exc)
+        else:
+            for (digest, point, future), result in zip(unit.entries, results):
+                # Durability before visibility: journal + cache first.
+                if self.checkpoint is not None:
+                    self.checkpoint.record_digest(digest, result)
+                if self.cache is not None:
+                    self.cache.store(point, result)
+                self._inflight.pop(digest, None)
+                self.events.append(
+                    "done", digest=digest, client=unit.client, batch=unit.batch_id
+                )
+                if not future.done():
+                    future.set_result(result)
+        finally:
+            self._slots.release()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def status(self):
+        """A JSON-safe snapshot for the ``status`` protocol op."""
+        return {
+            "jobs": self.jobs,
+            "inflight": len(self._inflight),
+            "queued": {
+                client: sum(len(unit.entries) for unit in queue)
+                for client, queue in self._queues.items()
+            },
+            "journaled": len(self.checkpoint) if self.checkpoint else 0,
+            "events": self.events.snapshot(),
+            "cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "quarantined": self.cache.quarantined,
+            }
+            if self.cache is not None
+            else None,
+        }

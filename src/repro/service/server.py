@@ -1,0 +1,403 @@
+"""The sweep-service daemon: sockets, spooling, and restart recovery.
+
+A :class:`SweepService` listens on a unix socket (default
+``<spool>/service.sock``) or localhost TCP and speaks the JSON-line
+protocol of :mod:`repro.service.protocol`. Its durable state lives in
+one *spool directory*:
+
+``journal.ckpt``
+    A :class:`~repro.sim.parallel.SweepCheckpoint` of every finished
+    point (digest -> result), appended before any client sees the
+    result. Survives SIGKILL; a torn tail is truncated on reload.
+``batches/<id>.pkl``
+    One pickled point-list per accepted batch, written before the batch
+    is scheduled and removed once every point has settled. A daemon
+    killed mid-batch finds the file on restart and re-submits the batch
+    to itself: journaled points replay instantly, the rest re-execute —
+    no lost points, no duplicated executions.
+``events.jsonl``
+    The append-only structured event log (append-across-restarts).
+
+The shared result cache (``REPRO_CACHE_DIR``) is *not* under the spool:
+it outlives any daemon and is how independent daemons and plain
+``run_points`` sweeps share work.
+"""
+
+import asyncio
+import os
+import pickle
+import signal
+import tempfile
+
+from repro.service import protocol
+from repro.service.events import EventLog
+from repro.service.scheduler import Scheduler
+from repro.sim.parallel import DEFAULT_BACKOFF, ResultCache, SweepCheckpoint
+
+DEFAULT_SPOOL_DIR = ".repro_service"
+
+#: Client name under which restart-recovered batches are scheduled.
+RECOVERY_CLIENT = "recovered"
+
+#: Per-connection stream buffer: a whole-figure submit is one JSON line
+#: of pickled points (a ci fig09 batch is ~1 MB), far past asyncio's
+#: 64 KiB default readline limit.
+STREAM_LIMIT = 64 * 1024 * 1024
+
+
+def default_socket_path(spool_dir=None):
+    """Where the daemon listens when no socket/TCP endpoint is given."""
+    return os.path.join(spool_dir or DEFAULT_SPOOL_DIR, "service.sock")
+
+
+class SweepService:
+    """One daemon instance. ``tcp`` is a ``(host, port)`` pair; when
+    None the unix socket at ``socket_path`` (default: inside the spool
+    directory) is used. ``runner`` is passed through to the
+    :class:`Scheduler` for tests.
+    """
+
+    def __init__(
+        self,
+        spool_dir=None,
+        socket_path=None,
+        tcp=None,
+        jobs=None,
+        cache=None,
+        timeout=None,
+        retries=None,
+        backoff=DEFAULT_BACKOFF,
+        runner=None,
+    ):
+        self.spool_dir = spool_dir or DEFAULT_SPOOL_DIR
+        self.batch_dir = os.path.join(self.spool_dir, "batches")
+        os.makedirs(self.batch_dir, exist_ok=True)
+        self.tcp = tcp
+        self.socket_path = (
+            None if tcp else (socket_path or default_socket_path(self.spool_dir))
+        )
+        self.events = EventLog(os.path.join(self.spool_dir, "events.jsonl"))
+        self.checkpoint = SweepCheckpoint(
+            os.path.join(self.spool_dir, "journal.ckpt")
+        )
+        self.cache = cache if cache is not None else ResultCache.from_env()
+        self.scheduler = Scheduler(
+            jobs=jobs,
+            cache=self.cache,
+            checkpoint=self.checkpoint,
+            events=self.events,
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+            runner=runner,
+        )
+        self._server = None
+        self._stopping = None
+        self._clients = 0
+        self._background = set()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self):
+        """Bind the socket, start the scheduler, replay the spool."""
+        self._stopping = asyncio.Event()
+        self.scheduler.start()
+        self._recover_spool()
+        if self.tcp:
+            host, port = self.tcp
+            self._server = await asyncio.start_server(
+                self._handle_client, host=host, port=port, limit=STREAM_LIMIT
+            )
+        else:
+            try:
+                os.unlink(self.socket_path)
+            except FileNotFoundError:
+                pass
+            self._server = await asyncio.start_unix_server(
+                self._handle_client, path=self.socket_path, limit=STREAM_LIMIT
+            )
+        self.events.append(
+            "serve",
+            endpoint=list(self.tcp) if self.tcp else self.socket_path,
+            jobs=self.scheduler.jobs,
+            journaled=len(self.checkpoint),
+        )
+
+    def request_stop(self):
+        """Ask the daemon to exit (signal handlers, ``shutdown`` op)."""
+        if self._stopping is not None:
+            self._stopping.set()
+
+    async def close(self):
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._background):
+            task.cancel()
+        if self._background:
+            await asyncio.gather(*self._background, return_exceptions=True)
+        await self.scheduler.close()
+        if self.socket_path:
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+        self.events.append("stop")
+
+    async def run(self):
+        """Serve until :meth:`request_stop`; returns an exit code."""
+        await self.start()
+        loop = asyncio.get_event_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.request_stop)
+            except (NotImplementedError, RuntimeError):
+                pass
+        try:
+            await self._stopping.wait()
+        finally:
+            await self.close()
+        return 0
+
+    # ------------------------------------------------------------------
+    # the batch spool (crash durability for accepted work)
+    # ------------------------------------------------------------------
+
+    def _spool_path(self, batch_id):
+        return os.path.join(self.batch_dir, "%s.pkl" % batch_id)
+
+    def _spool(self, batch_id, points):
+        """Persist an accepted batch atomically before scheduling it."""
+        fd, tmp_path = tempfile.mkstemp(dir=self.batch_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(list(points), handle, pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, self._spool_path(batch_id))
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def _unspool(self, batch_id):
+        try:
+            os.unlink(self._spool_path(batch_id))
+        except FileNotFoundError:
+            pass
+
+    def _recover_spool(self):
+        """Re-submit every batch the previous daemon left unfinished."""
+        for name in sorted(os.listdir(self.batch_dir)):
+            if not name.endswith(".pkl"):
+                continue
+            batch_id = name[: -len(".pkl")]
+            try:
+                with open(os.path.join(self.batch_dir, name), "rb") as handle:
+                    points = pickle.load(handle)
+            except Exception as exc:
+                self.events.append(
+                    "spool_corrupt", batch=batch_id, error=str(exc)
+                )
+                self._unspool(batch_id)
+                continue
+            entries = self.scheduler.submit(
+                RECOVERY_CLIENT, points, batch_id=batch_id
+            )
+            self.events.append(
+                "batch_recovered", batch=batch_id, n_points=len(points)
+            )
+            self._settle_in_background(batch_id, entries)
+
+    def _settle_in_background(self, batch_id, entries):
+        """Unspool the batch once every point settles, client or no."""
+
+        async def settle():
+            await asyncio.gather(
+                *(future for future, _source in entries),
+                return_exceptions=True,
+            )
+            self._unspool(batch_id)
+
+        task = asyncio.ensure_future(settle())
+        self._background.add(task)
+        task.add_done_callback(self._background.discard)
+
+    # ------------------------------------------------------------------
+    # client connections
+    # ------------------------------------------------------------------
+
+    async def _handle_client(self, reader, writer):
+        self._clients += 1
+        client = "client-%d" % self._clients
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    message = protocol.loads(line)
+                except ValueError as exc:
+                    await self._send(
+                        writer, {"event": "error", "error": "bad message: %s" % exc}
+                    )
+                    continue
+                op = message.get("op")
+                if op == "ping":
+                    await self._send(
+                        writer,
+                        {"event": "pong", "protocol": protocol.PROTOCOL_VERSION},
+                    )
+                elif op == "status":
+                    await self._send(
+                        writer, {"event": "status", "data": self._status()}
+                    )
+                elif op == "shutdown":
+                    await self._send(writer, {"event": "bye"})
+                    self.request_stop()
+                    break
+                elif op == "submit":
+                    await self._handle_submit(message, writer, client)
+                else:
+                    await self._send(
+                        writer,
+                        {"event": "error", "error": "unknown op %r" % (op,)},
+                    )
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; any scheduled work continues
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _send(self, writer, message):
+        writer.write(protocol.dumps(message))
+        await writer.drain()
+
+    def _status(self):
+        status = self.scheduler.status()
+        status["spooled_batches"] = len(
+            [n for n in os.listdir(self.batch_dir) if n.endswith(".pkl")]
+        )
+        status["clients_seen"] = self._clients
+        return status
+
+    async def _handle_submit(self, message, writer, client):
+        batch_id = message.get("batch") or os.urandom(8).hex()
+        keys = None
+        if message.get("points") is not None:
+            try:
+                points = [
+                    protocol.decode_payload(text) for text in message["points"]
+                ]
+            except Exception as exc:
+                await self._send(
+                    writer,
+                    {"event": "error", "error": "undecodable points: %s" % exc},
+                )
+                return
+        elif message.get("figure"):
+            from repro.experiments.batches import figure_points
+
+            try:
+                pairs = figure_points(
+                    message["figure"],
+                    preset=message.get("preset"),
+                    benchmarks=message.get("benchmarks"),
+                    epochs=message.get("epochs"),
+                )
+            except Exception as exc:
+                await self._send(
+                    writer,
+                    {"event": "error", "error": "cannot decompose: %s" % exc},
+                )
+                return
+            keys = [list(key) for key, _point in pairs]
+            points = [point for _key, point in pairs]
+        else:
+            await self._send(
+                writer,
+                {"event": "error", "error": "submit needs points or figure"},
+            )
+            return
+        self._spool(batch_id, points)
+        entries = self.scheduler.submit(client, points, batch_id=batch_id)
+        self._settle_in_background(batch_id, entries)
+        self.events.append(
+            "batch_accepted",
+            batch=batch_id,
+            client=client,
+            n_points=len(points),
+            sources={
+                source: sum(1 for _f, s in entries if s == source)
+                for source in ("journal", "cache", "joined", "queued")
+            },
+        )
+        await self._send(
+            writer,
+            {
+                "event": "accepted",
+                "batch": batch_id,
+                "n_points": len(points),
+                "keys": keys,
+                "protocol": protocol.PROTOCOL_VERSION,
+            },
+        )
+
+        async def waiter(index, future, source):
+            try:
+                # shield(): this future may be shared with other clients'
+                # submissions (that is the dedupe); a disconnect-driven
+                # cancellation of this waiter must not cancel the work.
+                result = await asyncio.shield(future)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                return {
+                    "event": "point_error",
+                    "batch": batch_id,
+                    "index": index,
+                    "error": str(exc),
+                }
+            return {
+                "event": "point",
+                "batch": batch_id,
+                "index": index,
+                "source": source,
+                "result": protocol.encode_payload(result),
+            }
+
+        tasks = [
+            asyncio.ensure_future(waiter(index, future, source))
+            for index, (future, source) in enumerate(entries)
+        ]
+        failures = 0
+        try:
+            for next_done in asyncio.as_completed(tasks):
+                point_message = await next_done
+                if point_message["event"] == "point_error":
+                    failures += 1
+                await self._send(writer, point_message)
+        except (ConnectionError, asyncio.CancelledError):
+            for task in tasks:
+                task.cancel()
+            raise
+        summary = {
+            "event": "done",
+            "batch": batch_id,
+            "n_points": len(points),
+            "failures": failures,
+            "sources": {
+                source: sum(1 for _f, s in entries if s == source)
+                for source in ("journal", "cache", "joined", "queued")
+            },
+        }
+        self.events.append(
+            "batch_done", batch=batch_id, client=client, failures=failures
+        )
+        await self._send(writer, summary)

@@ -33,8 +33,16 @@ Three pieces live here:
 Select the worker count with ``jobs=N``, ``jobs="auto"`` (one per
 *available* CPU — the scheduling affinity mask, not the raw core count),
 or the ``REPRO_JOBS`` environment variable. Fault-tolerance knobs:
-``REPRO_POINT_TIMEOUT`` (seconds per point, unset = no timeout) and
-``REPRO_RETRIES`` (attempts after the first failure, default 2).
+``REPRO_POINT_TIMEOUT`` (seconds per point: unset = no pool deadline but
+a :data:`ISOLATED_FALLBACK_TIMEOUT` safety net on isolated retries;
+``0`` = timeouts fully disabled) and ``REPRO_RETRIES`` (attempts after
+the first failure, default 2).
+
+The building blocks are public so other schedulers can reuse them: the
+sweep service (:mod:`repro.service`) drives :func:`trace_batches`,
+:func:`execute_batch_with_retry`, :func:`point_digest`,
+:class:`ResultCache` and :class:`SweepCheckpoint` directly rather than
+going through :func:`run_points`.
 """
 
 import dataclasses
@@ -43,8 +51,10 @@ import json
 import multiprocessing
 import os
 import pickle
+import random
 import sys
 import tempfile
+import threading
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -63,6 +73,17 @@ DEFAULT_RETRIES = 2
 
 #: First retry delay in seconds; doubles per attempt.
 DEFAULT_BACKOFF = 0.25
+
+#: Longest single retry delay, jitter excluded. Without a cap the
+#: exponential series (``backoff * 2**(attempt-1)``) grows without bound
+#: as soon as a caller raises the retry budget.
+MAX_BACKOFF = 30.0
+
+#: Per-point deadline applied to *isolated retry* batches when no timeout
+#: was configured at all (``timeout is None``): the retry loop must
+#: terminate even against a wedged child. An explicit ``timeout=0``
+#: disables deadlines everywhere, safety net included.
+ISOLATED_FALLBACK_TIMEOUT = 3600.0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -169,7 +190,7 @@ def _execute_batch(batch):
 _BATCH_CAP = 8
 
 
-def _trace_batches(points, indices):
+def trace_batches(points, indices):
     """Group pending point indices into same-trace batches (input order).
 
     The batch key is exactly what determines the generated stream:
@@ -195,6 +216,52 @@ def _trace_batches(points, indices):
         for start in range(0, len(group), _BATCH_CAP):
             batches.append(group[start : start + _BATCH_CAP])
     return batches
+
+
+def batch_budget(timeout, n_points):
+    """The deadline (seconds) for one batch, or None for no deadline.
+
+    ``timeout`` is the per-point setting with three distinct states:
+
+    * ``None`` — nothing configured. Pool futures get no deadline, but
+      isolated retry batches fall back to
+      :data:`ISOLATED_FALLBACK_TIMEOUT` per point so the retry loop
+      cannot wedge forever (this function is only called on that path).
+    * ``0`` (or negative) — timeouts *explicitly disabled*; returns None.
+      Previously ``timeout or 3600.0`` silently turned the documented
+      "disable" value into a one-hour cap.
+    * positive — that many seconds per point in the batch.
+    """
+    if timeout is None:
+        return ISOLATED_FALLBACK_TIMEOUT * max(1, n_points)
+    if timeout <= 0:
+        return None
+    return timeout * max(1, n_points)
+
+
+def retry_delay(attempt, backoff=DEFAULT_BACKOFF, key=None):
+    """Backoff before retry ``attempt`` (1-based): capped, jittered.
+
+    The exponential series is clamped to :data:`MAX_BACKOFF`. ``key``
+    (any string naming the work, e.g. a batch description) mixes in
+    *deterministic* jitter — a 0.5x-1.5x factor seeded from
+    ``(key, attempt)`` — so the batches of a crashed pool spread their
+    retries out instead of hammering the machine in lockstep, while any
+    given batch still waits the exact same amount on every run.
+    """
+    delay = min(backoff * (2 ** (attempt - 1)), MAX_BACKOFF)
+    if key is not None:
+        digest = hashlib.sha256(("%s|%d" % (key, attempt)).encode("utf-8"))
+        rng = random.Random(int.from_bytes(digest.digest()[:8], "big"))
+        delay *= 0.5 + rng.random()
+    return delay
+
+
+def fault_env():
+    """The (timeout, retries) pair configured via the environment."""
+    timeout = _env_float("REPRO_POINT_TIMEOUT")
+    retries = int(os.environ.get("REPRO_RETRIES", DEFAULT_RETRIES))
+    return timeout, retries
 
 
 def resolve_jobs(jobs=None):
@@ -359,11 +426,14 @@ class SweepCheckpoint:
     """Append-only journal of finished points for sweep resumption.
 
     Each record is one pickled ``(digest, result)`` pair; a process
-    killed mid-append leaves a truncated tail that :meth:`load` skips, so
-    every fully-written record before the kill still resumes. Unlike
-    :class:`ResultCache` (shared, content-addressed, survives forever)
-    a checkpoint belongs to one sweep invocation and is deleted when the
-    sweep completes.
+    killed mid-append leaves a truncated tail that loading skips — and
+    *truncates away*, so that subsequent :meth:`record` appends land
+    where the pickle stream actually ends. (Appending after torn bytes
+    would frame every later record as garbage: the next ``_load`` stops
+    at the tear and everything written post-resume is unreachable.)
+    Unlike :class:`ResultCache` (shared, content-addressed, survives
+    forever) a checkpoint belongs to one sweep invocation and is deleted
+    when the sweep completes.
     """
 
     def __init__(self, path):
@@ -376,25 +446,47 @@ class SweepCheckpoint:
             handle = open(self.path, "rb")
         except FileNotFoundError:
             return
+        good_offset = 0
         with handle:
             while True:
                 try:
                     digest, result = pickle.load(handle)
                 except EOFError:
+                    # Clean end *or* a record truncated mid-frame — the
+                    # size check below tells them apart.
                     break
                 except Exception:
-                    # Truncated or torn tail record: everything before it
-                    # is intact, everything after is unreadable framing.
+                    # Torn tail record: everything before it is intact,
+                    # everything after is unreadable framing.
                     break
                 self._results[digest] = result
+                good_offset = handle.tell()
+        try:
+            if os.path.getsize(self.path) > good_offset:
+                os.truncate(self.path, good_offset)
+        except OSError:
+            # Can't repair (permissions, vanished file); appends may be
+            # unreachable on the next load, but nothing already journaled
+            # is lost.
+            pass
 
     def lookup(self, point):
         """The journaled result for ``point``, or None."""
         return self._results.get(point_digest(point))
 
+    def get(self, digest):
+        """The journaled result for an already-computed digest, or None."""
+        return self._results.get(digest)
+
+    def __len__(self):
+        return len(self._results)
+
     def record(self, point, result):
         """Append one finished point; durable once the call returns."""
-        digest = point_digest(point)
+        self.record_digest(point_digest(point), result)
+
+    def record_digest(self, digest, result):
+        """Append one finished ``(digest, result)``; durable on return."""
         with open(self.path, "ab") as handle:
             pickle.dump((digest, result), handle, protocol=pickle.HIGHEST_PROTOCOL)
             handle.flush()
@@ -428,9 +520,37 @@ def _isolated_main(conn, batch):
         conn.close()
 
 
-def _run_batch_isolated(batch, timeout):
-    """Run one batch in its own process; kill it if it exceeds ``timeout``.
+#: Live isolated-batch child processes, so an embedding daemon can tear
+#: everything down promptly (see :func:`kill_isolated_processes`).
+_LIVE_PROCS = set()
+_LIVE_LOCK = threading.Lock()
 
+#: Serializes fork() when isolated batches are launched from multiple
+#: threads (the sweep service does), shrinking the window in which a
+#: child could inherit another thread's held locks.
+_SPAWN_LOCK = threading.Lock()
+
+
+def kill_isolated_processes():
+    """Kill every live isolated batch child (daemon shutdown path).
+
+    The waiting callers see the death as :class:`WorkerCrashError`; pair
+    with a ``should_retry`` hook that answers False so they surface it
+    instead of relaunching.
+    """
+    with _LIVE_LOCK:
+        procs = list(_LIVE_PROCS)
+    for proc in procs:
+        try:
+            proc.kill()
+        except Exception:
+            pass
+
+
+def _run_batch_isolated(batch, budget):
+    """Run one batch in its own process; kill it past ``budget`` seconds.
+
+    ``budget`` is the whole-batch deadline (``None`` = wait forever).
     Unlike a pool task, an isolated batch can be killed precisely and its
     death attributed to exactly these points.
     """
@@ -438,15 +558,18 @@ def _run_batch_isolated(batch, timeout):
     proc = multiprocessing.Process(
         target=_isolated_main, args=(child_conn, batch), daemon=True
     )
-    proc.start()
+    with _SPAWN_LOCK:
+        proc.start()
+    with _LIVE_LOCK:
+        _LIVE_PROCS.add(proc)
     child_conn.close()
     described = "; ".join(point.describe() for point in batch)
     try:
-        if not parent_conn.poll(timeout):
+        if not parent_conn.poll(budget):
             proc.kill()
             proc.join()
             raise PointTimeoutError(
-                "batch exceeded %.1fs and was killed [%s]" % (timeout, described),
+                "batch exceeded %.1fs and was killed [%s]" % (budget, described),
                 point_description=described,
             )
         try:
@@ -462,21 +585,40 @@ def _run_batch_isolated(batch, timeout):
             raise payload
         return payload
     finally:
+        with _LIVE_LOCK:
+            _LIVE_PROCS.discard(proc)
         parent_conn.close()
         if proc.is_alive():
             proc.kill()
         proc.join()
 
 
-def _retrying_isolated(batch, timeout, retries, backoff):
+def execute_batch_with_retry(
+    batch,
+    timeout=None,
+    retries=None,
+    backoff=DEFAULT_BACKOFF,
+    on_retry=None,
+    should_retry=None,
+):
     """Isolated execution with bounded retry for *transient* failures.
 
     Deterministic failures (:class:`PointExecutionError` raised by the
     simulation itself) are re-raised immediately — the same point would
     fail the same way again. Crashes and timeouts get ``retries`` more
-    attempts with exponential backoff.
+    attempts (default ``REPRO_RETRIES``), each after a capped, jittered
+    :func:`retry_delay`. ``timeout`` follows :func:`batch_budget`
+    semantics (None = safety-net deadline, 0 = none at all).
+
+    ``on_retry(attempt, delay, exc)`` is called before each sleep (the
+    sweep service logs these as events); ``should_retry()`` returning
+    False aborts the loop — used at daemon shutdown so deliberately
+    killed children aren't relaunched.
     """
-    budget = (timeout or 3600.0) * max(1, len(batch))
+    if retries is None:
+        retries = int(os.environ.get("REPRO_RETRIES", DEFAULT_RETRIES))
+    budget = batch_budget(timeout, len(batch))
+    key = "; ".join(point.describe() for point in batch)
     attempt = 0
     while True:
         attempt += 1
@@ -485,7 +627,11 @@ def _retrying_isolated(batch, timeout, retries, backoff):
         except (WorkerCrashError, PointTimeoutError) as exc:
             if attempt > retries:
                 raise
-            delay = backoff * (2 ** (attempt - 1))
+            if should_retry is not None and not should_retry():
+                raise
+            delay = retry_delay(attempt, backoff, key=key)
+            if on_retry is not None:
+                on_retry(attempt, delay, exc)
             print(
                 "repro: transient failure (attempt %d/%d, retrying in %.2fs):"
                 " %s" % (attempt, retries + 1, delay, exc),
@@ -520,40 +666,14 @@ def _env_float(name):
 # ----------------------------------------------------------------------
 
 
-def run_points(
-    points,
-    jobs=None,
-    cache=None,
-    checkpoint=None,
-    timeout=None,
-    retries=None,
-    backoff=DEFAULT_BACKOFF,
-):
-    """Execute every point; returns results in input order.
+def resolve_precomputed(points, cache=None, checkpoint=None):
+    """Answer points from the checkpoint journal and result cache.
 
-    Cached or checkpointed points are answered without simulating. The
-    remainder run serially when ``jobs`` resolves to 1 (or only one point
-    is pending), otherwise on a process pool — either way each point's
-    simulation is seeded identically, so the results are bit-identical
-    across modes. Pool tasks are same-trace batches (see
-    :func:`_trace_batches`) so each worker generates a given reference
-    stream once and memo-replays it for the other schemes at that point.
-
-    Fault tolerance (pool mode): a broken pool (worker killed by signal /
-    OOM) or a batch exceeding ``timeout`` seconds per point tears the pool
-    down and re-runs the unfinished batches in isolated single-batch
-    processes — killable on timeout, retried up to ``retries`` times with
-    exponential ``backoff``, and any terminal failure names the exact
-    points that died. If the pool cannot be created at all the sweep
-    degrades to serial in-process execution. ``timeout`` defaults to
-    ``REPRO_POINT_TIMEOUT`` (unset = no deadline), ``retries`` to
-    ``REPRO_RETRIES`` (default 2).
+    Returns ``(results, pending)``: a results list (input order, None
+    where nothing precomputed was found) and the indices still needing
+    execution. Cache hits are recorded into the checkpoint so a later
+    resume is journal-local.
     """
-    points = list(points)
-    if timeout is None:
-        timeout = _env_float("REPRO_POINT_TIMEOUT")
-    if retries is None:
-        retries = int(os.environ.get("REPRO_RETRIES", DEFAULT_RETRIES))
     results = [None] * len(points)
     pending = []
     for index, point in enumerate(points):
@@ -570,6 +690,46 @@ def run_points(
                     checkpoint.record(point, cached)
                 continue
         pending.append(index)
+    return results, pending
+
+
+def run_points(
+    points,
+    jobs=None,
+    cache=None,
+    checkpoint=None,
+    timeout=None,
+    retries=None,
+    backoff=DEFAULT_BACKOFF,
+):
+    """Execute every point; returns results in input order.
+
+    Cached or checkpointed points are answered without simulating. The
+    remainder run serially when ``jobs`` resolves to 1 (or only one point
+    is pending), otherwise on a process pool — either way each point's
+    simulation is seeded identically, so the results are bit-identical
+    across modes. Pool tasks are same-trace batches (see
+    :func:`trace_batches`) so each worker generates a given reference
+    stream once and memo-replays it for the other schemes at that point.
+
+    Fault tolerance (pool mode): a broken pool (worker killed by signal /
+    OOM) or a batch exceeding ``timeout`` seconds per point tears the pool
+    down and re-runs the unfinished batches in isolated single-batch
+    processes — killable on timeout, retried up to ``retries`` times with
+    capped, jittered exponential ``backoff``, and any terminal failure
+    names the exact points that died. If the pool cannot be created at
+    all the sweep degrades to serial in-process execution. ``timeout``
+    defaults to ``REPRO_POINT_TIMEOUT`` (unset = no pool deadline,
+    ``0`` = timeouts disabled everywhere — see :func:`batch_budget`),
+    ``retries`` to ``REPRO_RETRIES`` (default 2).
+    """
+    points = list(points)
+    env_timeout, env_retries = fault_env()
+    if timeout is None:
+        timeout = env_timeout
+    if retries is None:
+        retries = env_retries
+    results, pending = resolve_precomputed(points, cache, checkpoint)
     if not pending:
         return results
 
@@ -587,7 +747,7 @@ def run_points(
         return results
     # Ship same-trace points to one worker as a batch so the worker-local
     # trace memo hits; results land back by index, preserving input order.
-    batches = _trace_batches(points, pending)
+    batches = trace_batches(points, pending)
     workers = min(jobs, len(batches))
     try:
         pool = ProcessPoolExecutor(max_workers=workers)
@@ -613,7 +773,9 @@ def run_points(
         for batch, future in futures:
             if pool_broken:
                 break
-            budget = timeout * len(batch) if timeout else None
+            # 0 (explicitly disabled) and None (unset) both mean no pool
+            # deadline; only a positive timeout arms one.
+            budget = timeout * len(batch) if timeout and timeout > 0 else None
             try:
                 computed = future.result(timeout=budget)
             except PointExecutionError:
@@ -640,8 +802,11 @@ def run_points(
             file=sys.stderr,
         )
         for batch in unfinished:
-            computed = _retrying_isolated(
-                [points[i] for i in batch], timeout, retries, backoff
+            computed = execute_batch_with_retry(
+                [points[i] for i in batch],
+                timeout=timeout,
+                retries=retries,
+                backoff=backoff,
             )
             for index, result in zip(batch, computed):
                 finish(index, result)

@@ -18,31 +18,41 @@ def run_single(config, scheme_name, benchmark, n_instructions, seed=1234, cache=
     return run_points([point], jobs=1, cache=cache)[0]
 
 
+def matrix_points(config, scheme_names, benchmarks, n_instructions, seed=1234):
+    """The (scheme, benchmark) grid as ``((benchmark, scheme), RunPoint)``
+    pairs — the decomposition :func:`run_matrix` executes locally and the
+    sweep service schedules remotely. The per-benchmark seed is fixed
+    across schemes so every scheme sees the same trace.
+    """
+    pairs = []
+    for bench_index, benchmark in enumerate(benchmarks):
+        for scheme_name in scheme_names:
+            pairs.append(
+                (
+                    (benchmark, scheme_name),
+                    RunPoint.single(
+                        config,
+                        scheme_name,
+                        benchmark,
+                        n_instructions,
+                        seed + bench_index * 7919,
+                    ),
+                )
+            )
+    return pairs
+
+
 def run_matrix(
     config, scheme_names, benchmarks, n_instructions, seed=1234, jobs=None, cache=None
 ):
     """Run every (scheme, benchmark) pair.
 
-    Returns ``{benchmark: {scheme: SimulationResult}}``. The per-benchmark
-    seed is fixed across schemes so every scheme sees the same trace.
+    Returns ``{benchmark: {scheme: SimulationResult}}``.
     """
-    keys = []
-    points = []
-    for bench_index, benchmark in enumerate(benchmarks):
-        for scheme_name in scheme_names:
-            keys.append((benchmark, scheme_name))
-            points.append(
-                RunPoint.single(
-                    config,
-                    scheme_name,
-                    benchmark,
-                    n_instructions,
-                    seed + bench_index * 7919,
-                )
-            )
-    flat = run_points(points, jobs=jobs, cache=cache)
+    pairs = matrix_points(config, scheme_names, benchmarks, n_instructions, seed)
+    flat = run_points([point for _key, point in pairs], jobs=jobs, cache=cache)
     results = {}
-    for (benchmark, scheme_name), result in zip(keys, flat):
+    for ((benchmark, scheme_name), _point), result in zip(pairs, flat):
         results.setdefault(benchmark, {})[scheme_name] = result
     return results
 

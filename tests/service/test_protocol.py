@@ -1,0 +1,72 @@
+"""Wire protocol: framing and payload roundtrips."""
+
+import pytest
+
+from repro.service import protocol
+from repro.sim.config import SystemConfig
+from repro.sim.parallel import RunPoint, point_digest
+
+CONFIG = SystemConfig().scaled(512)
+
+
+def make_point(seed=7):
+    return RunPoint.single(
+        CONFIG, "picl", "gcc", CONFIG.epoch_instructions, seed
+    )
+
+
+class TestFraming:
+    def test_dumps_is_one_newline_terminated_line(self):
+        line = protocol.dumps({"op": "ping"})
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+
+    def test_loads_roundtrip(self):
+        message = {"op": "submit", "batch": "abc", "n": 3}
+        assert protocol.loads(protocol.dumps(message)) == message
+
+    def test_loads_accepts_str_and_bytes(self):
+        assert protocol.loads('{"op": "ping"}') == {"op": "ping"}
+        assert protocol.loads(b'{"op": "ping"}') == {"op": "ping"}
+
+    def test_loads_rejects_non_objects(self):
+        with pytest.raises(ValueError):
+            protocol.loads("[1, 2, 3]")
+
+    def test_loads_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            protocol.loads("not json at all")
+
+
+class TestPayloads:
+    def test_runpoint_roundtrip_preserves_digest(self):
+        point = make_point()
+        clone = protocol.decode_payload(protocol.encode_payload(point))
+        assert point_digest(clone) == point_digest(point)
+        assert clone.scheme_name == "picl"
+
+    def test_payload_is_json_safe_ascii(self):
+        import json
+
+        text = protocol.encode_payload({"nested": [1, 2, 3]})
+        assert json.loads(json.dumps(text)) == text
+
+
+class TestSubmitMessages:
+    def test_submit_points_carries_decodable_points(self):
+        points = [make_point(1), make_point(2)]
+        message = protocol.submit_points("batch-1", points)
+        assert message["op"] == "submit"
+        assert message["batch"] == "batch-1"
+        decoded = [protocol.decode_payload(p) for p in message["points"]]
+        assert [point_digest(p) for p in decoded] == [
+            point_digest(p) for p in points
+        ]
+
+    def test_submit_figure_form(self):
+        message = protocol.submit_figure(
+            "b", "fig09", preset="ci", benchmarks=["gcc"], epochs=1
+        )
+        assert message["figure"] == "fig09"
+        assert message["benchmarks"] == ["gcc"]
+        assert "points" not in message

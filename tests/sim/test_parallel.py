@@ -37,6 +37,19 @@ def fingerprint(result):
     }
 
 
+def _big_payload(index):
+    """~1 MB of index-tagged content: a torn read would be detectable."""
+    return [index] * 4 + list(range(125_000))
+
+
+def _store_repeatedly(root, point, index, n):
+    """Writer-process body for the concurrent-store test (fork target)."""
+    cache = ResultCache(root)
+    payload = _big_payload(index)
+    for _ in range(n):
+        cache.store(point, payload)
+
+
 class TestDeterminism:
     def test_run_matrix_parallel_bit_identical_to_serial(self):
         serial = run_matrix(CONFIG, SCHEMES, BENCHMARKS, N, jobs=1)
@@ -170,6 +183,48 @@ class TestResultCache:
     def test_from_env_honors_no_cache(self, monkeypatch):
         monkeypatch.setenv("REPRO_NO_CACHE", "1")
         assert ResultCache.from_env() is None
+
+    def test_concurrent_stores_never_tear_a_reader(self, tmp_path, point):
+        # Three writer processes hammer the same key with ~1 MB payloads
+        # while a reader loads in a loop. Because store() goes through a
+        # private temp file + atomic rename, every load must observe
+        # either nothing or one complete payload — never a mix, never a
+        # quarantine.
+        import multiprocessing
+
+        root = str(tmp_path / "cache")
+        ResultCache(root).store(point, _big_payload(0))
+        writers = [
+            multiprocessing.Process(
+                target=_store_repeatedly, args=(root, point, index, 25)
+            )
+            for index in range(3)
+        ]
+        for proc in writers:
+            proc.start()
+        reader = ResultCache(root)
+        valid = {tuple(_big_payload(index)[:4]) for index in range(4)}
+        observed = 0
+        try:
+            while any(proc.is_alive() for proc in writers):
+                loaded = reader.load(point)
+                if loaded is not None:
+                    assert tuple(loaded[:4]) in valid
+                    assert len(loaded) == len(_big_payload(0))
+                    observed += 1
+        finally:
+            for proc in writers:
+                proc.join(timeout=60)
+        assert all(proc.exitcode == 0 for proc in writers)
+        assert observed > 0, "reader never saw a stored payload"
+        # No load ever hit a torn entry: nothing was quarantined.
+        assert reader.quarantined == 0
+        assert not os.path.exists(os.path.join(root, "corrupt"))
+        # And the final state is one clean, loadable entry.
+        final = ResultCache(root)
+        last = final.load(point)
+        assert last is not None and tuple(last[:4]) in valid
+        assert final.hits == 1 and final.quarantined == 0
 
     def test_from_env_honors_cache_dir(self, monkeypatch, tmp_path):
         monkeypatch.delenv("REPRO_NO_CACHE", raising=False)

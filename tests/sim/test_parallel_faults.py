@@ -18,11 +18,17 @@ import pytest
 
 from repro.sim.config import SystemConfig
 from repro.sim.parallel import (
+    ISOLATED_FALLBACK_TIMEOUT,
+    MAX_BACKOFF,
     PointExecutionError,
     PointTimeoutError,
     RunPoint,
     SweepCheckpoint,
     WorkerCrashError,
+    batch_budget,
+    execute_batch_with_retry,
+    fault_env,
+    retry_delay,
     run_points,
 )
 
@@ -163,6 +169,48 @@ class TestCheckpoint:
         assert survivor.lookup(point(RunPoint, 61)) == "result-a"
         assert survivor.lookup(point(RunPoint, 62, "gamess")) == "result-b"
 
+    def test_torn_tail_then_resume_keeps_later_records(self, tmp_path):
+        # Regression: _load used to *leave* the torn bytes in place, so
+        # records appended by the resumed run were glued onto the garbage
+        # and lost on the next reload. The torn tail must be truncated
+        # before appending resumes.
+        journal = str(tmp_path / "sweep.ckpt")
+        checkpoint = SweepCheckpoint(journal)
+        checkpoint.record(point(RunPoint, 63), "result-a")
+        with open(journal, "ab") as handle:
+            handle.write(b"\x80\x05torn-mid-append")
+
+        resumed = SweepCheckpoint(journal)
+        assert resumed.lookup(point(RunPoint, 63)) == "result-a"
+        resumed.record(point(RunPoint, 64, "gamess"), "result-b")
+        resumed.record(point(RunPoint, 65, "bwaves"), "result-c")
+
+        reloaded = SweepCheckpoint(journal)
+        assert reloaded.lookup(point(RunPoint, 63)) == "result-a"
+        assert reloaded.lookup(point(RunPoint, 64, "gamess")) == "result-b"
+        assert reloaded.lookup(point(RunPoint, 65, "bwaves")) == "result-c"
+
+    def test_mid_pickle_truncation_then_resume(self, tmp_path):
+        # The crash variant: the file ends exactly mid-record (power cut
+        # during a write), not with trailing garbage.
+        journal = str(tmp_path / "sweep.ckpt")
+        checkpoint = SweepCheckpoint(journal)
+        checkpoint.record(point(RunPoint, 66), "result-a")
+        good_size = os.path.getsize(journal)
+        checkpoint.record(point(RunPoint, 67, "gamess"), "result-b")
+        with open(journal, "ab") as handle:
+            pass
+        os.truncate(journal, good_size + (os.path.getsize(journal) - good_size) // 2)
+
+        resumed = SweepCheckpoint(journal)
+        assert resumed.lookup(point(RunPoint, 66)) == "result-a"
+        assert resumed.lookup(point(RunPoint, 67, "gamess")) is None
+        resumed.record(point(RunPoint, 68, "bwaves"), "result-c")
+
+        reloaded = SweepCheckpoint(journal)
+        assert reloaded.lookup(point(RunPoint, 66)) == "result-a"
+        assert reloaded.lookup(point(RunPoint, 68, "bwaves")) == "result-c"
+
     def test_done_removes_journal(self, tmp_path):
         journal = str(tmp_path / "sweep.ckpt")
         checkpoint = SweepCheckpoint(journal)
@@ -187,3 +235,92 @@ class TestSerialDegradation:
         for got, want in zip(results, clean):
             assert fingerprint(got) == fingerprint(want)
         assert "running serially" in capsys.readouterr().err
+
+
+class TestTimeoutSemantics:
+    """None, zero, and positive timeouts are three different requests."""
+
+    def test_unset_timeout_gets_safety_net(self):
+        assert batch_budget(None, 3) == ISOLATED_FALLBACK_TIMEOUT * 3
+        assert batch_budget(None, 0) == ISOLATED_FALLBACK_TIMEOUT
+
+    def test_zero_timeout_disables_deadline_entirely(self):
+        # Regression: `timeout or 3600.0` silently turned an explicit
+        # REPRO_POINT_TIMEOUT=0 into the one-hour safety net.
+        assert batch_budget(0, 5) is None
+        assert batch_budget(0.0, 1) is None
+        assert batch_budget(-1, 2) is None
+
+    def test_positive_timeout_scales_with_batch(self):
+        assert batch_budget(2.0, 3) == 6.0
+        assert batch_budget(0.5, 1) == 0.5
+
+    def test_env_zero_reaches_fault_env_as_zero(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POINT_TIMEOUT", "0")
+        timeout, _retries = fault_env()
+        assert timeout == 0.0
+        assert batch_budget(timeout, 4) is None
+
+    def test_env_unset_is_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_POINT_TIMEOUT", raising=False)
+        timeout, _retries = fault_env()
+        assert timeout is None
+
+    def test_run_points_completes_with_zero_timeout(self):
+        points = [point(RunPoint, 91), point(RunPoint, 92, "gamess")]
+        results = run_points(points, jobs=2, timeout=0)
+        clean = run_points(points, jobs=1)
+        for got, want in zip(results, clean):
+            assert fingerprint(got) == fingerprint(want)
+
+
+class TestBackoff:
+    def test_exponential_growth_is_capped(self):
+        assert retry_delay(1, backoff=1.0) == 1.0
+        assert retry_delay(3, backoff=1.0) == 4.0
+        assert retry_delay(30, backoff=1.0) == MAX_BACKOFF
+        # Before the cap this would be ~5e8 seconds.
+        assert retry_delay(30, backoff=1.0) <= MAX_BACKOFF
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        for attempt in (1, 2, 7):
+            base = retry_delay(attempt, backoff=1.0)
+            jittered = retry_delay(attempt, backoff=1.0, key="batch-x")
+            assert 0.5 * base <= jittered <= 1.5 * base
+            # Same (key, attempt) -> the exact same delay, every time.
+            assert jittered == retry_delay(attempt, backoff=1.0, key="batch-x")
+
+    def test_jitter_spreads_distinct_keys(self):
+        delays = {
+            retry_delay(1, backoff=1.0, key="batch-%d" % index)
+            for index in range(8)
+        }
+        assert len(delays) > 1
+
+    def test_execute_batch_with_retry_reports_its_delay(self, tmp_path):
+        sentinel = str(tmp_path / "flaky")
+        batch = [point(FlakyPoint, 95, sentinel=sentinel)]
+        observed = []
+
+        def on_retry(attempt, delay, exc):
+            observed.append((attempt, delay, exc))
+
+        results = execute_batch_with_retry(
+            batch, retries=1, backoff=0.01, on_retry=on_retry
+        )
+        assert len(results) == 1
+        assert len(observed) == 1
+        attempt, delay, exc = observed[0]
+        assert attempt == 1
+        assert isinstance(exc, WorkerCrashError)
+        key = "; ".join(p.describe() for p in batch)
+        assert delay == retry_delay(1, 0.01, key=key)
+
+    def test_should_retry_false_aborts_immediately(self):
+        batch = [point(ExitingPoint, 96)]
+        start = time.time()
+        with pytest.raises(WorkerCrashError):
+            execute_batch_with_retry(
+                batch, retries=5, backoff=5.0, should_retry=lambda: False
+            )
+        assert time.time() - start < 10

@@ -36,6 +36,57 @@ class TestParser:
         assert args.profile is False
 
 
+class TestServiceCommands:
+    def test_serve_takes_spool_jobs_and_socket(self):
+        args = build_parser().parse_args(
+            ["serve", "--spool", "/tmp/s", "--jobs", "4", "--socket", "/tmp/x"]
+        )
+        assert args.command == "serve"
+        assert args.spool == "/tmp/s"
+        assert args.jobs == "4"
+        assert args.socket == "/tmp/x"
+        assert args.tcp is None
+
+    def test_submit_takes_figure_and_grid_options(self):
+        args = build_parser().parse_args(
+            [
+                "submit", "fig09",
+                "--preset", "ci",
+                "--benchmarks", "gcc,lbm",
+                "--epochs", "2",
+            ]
+        )
+        assert args.command == "submit"
+        assert args.figure == "fig09"
+        assert args.preset == "ci"
+        assert args.benchmarks == "gcc,lbm"
+        assert args.epochs == 2
+
+    def test_submit_requires_a_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit"])
+
+    def test_status_takes_endpoint(self):
+        args = build_parser().parse_args(["status", "--tcp", "127.0.0.1:7001"])
+        assert args.command == "status"
+        assert args.tcp == "127.0.0.1:7001"
+
+    def test_parse_tcp(self):
+        from repro.cli import _parse_tcp
+
+        assert _parse_tcp(None) is None
+        assert _parse_tcp("127.0.0.1:7001") == ("127.0.0.1", 7001)
+        assert _parse_tcp(":7001") == ("127.0.0.1", 7001)
+        assert _parse_tcp("7001") == ("127.0.0.1", 7001)
+
+    def test_list_mentions_service_commands(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "serve" in out
+        assert "submit" in out
+        assert "status" in out
+
+
 class TestMain:
     def test_no_args_lists(self, capsys):
         assert main([]) == 0
