@@ -7,7 +7,13 @@ scalar-vs-columnar matrix (``perf_common.make_columnar_rows``,
 ``REPRO_VECTOR=0`` vs ``=1`` interleaved), writes a fresh
 ``BENCH_columnar.json``, and warns when a row's columnar *speedup*
 falls materially below the committed one — the interleaved ratio, not
-absolute refs/sec, is the only number comparable across machines. A
+absolute refs/sec, is the only number comparable across machines.
+Finally it runs the batched miss-chain matrix the same way
+(``perf_common.make_misschain_rows``, ``REPRO_BATCH_MISS=0`` vs ``=1``
+under the columnar interpreter) against ``BENCH_misschain.json``. All
+comparisons are per row, never only the aggregate: parity rows (gcc
+under the columnar check, hmmer under the miss-chain check) would
+otherwise mask a regression on the rows each engine exists for. A
 drop beyond the threshold (default 20%) prints a warning — in
 GitHub-annotation form when running under Actions — but the exit code
 stays 0.
@@ -39,6 +45,9 @@ import perf_common  # noqa: E402
 RESULTS = os.path.join(os.path.dirname(__file__), "results", "BENCH_scan.json")
 COLUMNAR = os.path.join(
     os.path.dirname(__file__), "results", "BENCH_columnar.json"
+)
+MISSCHAIN = os.path.join(
+    os.path.dirname(__file__), "results", "BENCH_misschain.json"
 )
 
 
@@ -79,7 +88,19 @@ def main(argv=None):
     )
     parser.add_argument(
         "--skip-columnar", action="store_true",
-        help="only run the scan rows (skip the REPRO_VECTOR matrix)",
+        help="skip the REPRO_VECTOR matrix",
+    )
+    parser.add_argument(
+        "--misschain-baseline", default=MISSCHAIN,
+        help="committed BENCH_misschain.json to compare against",
+    )
+    parser.add_argument(
+        "--misschain-output", default=MISSCHAIN,
+        help="where to write this run's BENCH_misschain.json",
+    )
+    parser.add_argument(
+        "--skip-misschain", action="store_true",
+        help="skip the REPRO_BATCH_MISS matrix",
     )
     args = parser.parse_args(argv)
 
@@ -135,6 +156,8 @@ def main(argv=None):
 
     if not args.skip_columnar:
         regressions += check_columnar(args)
+    if not args.skip_misschain:
+        regressions += check_misschain(args)
 
     if regressions:
         warn(
@@ -218,6 +241,82 @@ def check_columnar(args):
         ),
     )
     print("wrote %s" % args.columnar_output)
+    return regressions
+
+
+def check_misschain(args):
+    """Run the REPRO_BATCH_MISS matrix and compare speedups, warn-only.
+
+    Per-row speedups, like :func:`check_columnar` — the overall
+    aggregate alone would let the hit-dominated hmmer rows (engine ~1.0x
+    by design) mask a collapse on the gcc rows the engine exists for,
+    exactly the masking failure the per-row columnar check closed.
+    """
+    baseline = None
+    if os.path.exists(args.misschain_baseline):
+        baseline = perf_common.load_bench_json(args.misschain_baseline)
+        if baseline.get("protocol") != perf_common.MISSCHAIN_PROTOCOL:
+            print(
+                "misschain baseline protocol %r != %r; skipping comparison"
+                % (baseline.get("protocol"), perf_common.MISSCHAIN_PROTOCOL)
+            )
+            baseline = None
+    else:
+        print(
+            "no committed baseline at %s; recording only"
+            % args.misschain_baseline
+        )
+
+    passes = max(2, args.passes)  # a ratio from single passes is all noise
+    measurements, overall = perf_common.measure_misschain(passes=passes)
+    print("%-14s %12s %12s %9s %12s" % (
+        "row", "scalar r/s", "batched r/s", "speedup", "vs-baseline"))
+    regressions = 0
+    for m in measurements:
+        ratio = ""
+        if baseline is not None:
+            base = baseline["rows"].get(m["label"], {}).get("speedup")
+            if base:
+                ratio = "%.2fx" % (m["speedup"] / base)
+                if m["speedup"] < base * (1.0 - args.threshold):
+                    regressions += 1
+                    warn(
+                        "%s: miss-chain speedup %.2fx vs baseline %.2fx "
+                        "(%.0f%% drop)"
+                        % (
+                            m["label"],
+                            m["speedup"],
+                            base,
+                            100.0 * (1.0 - m["speedup"] / base),
+                        )
+                    )
+        print(
+            "%-14s %12.0f %12.0f %8.2fx %12s"
+            % (
+                m["label"],
+                m["scalar_refs_per_sec"],
+                m["batched_refs_per_sec"],
+                m["speedup"],
+                ratio,
+            )
+        )
+    print("%-14s %12.0f %12.0f %8.2fx" % (
+        "overall",
+        overall["scalar_refs_per_sec"],
+        overall["batched_refs_per_sec"],
+        overall["speedup"],
+    ))
+
+    perf_common.write_bench_json(
+        args.misschain_output,
+        perf_common.misschain_payload(
+            measurements,
+            overall,
+            note="%s; check_perf_regression passes=%d"
+            % (perf_common.MISSCHAIN_PROTOCOL, passes),
+        ),
+    )
+    print("wrote %s" % args.misschain_output)
     return regressions
 
 

@@ -21,6 +21,11 @@ scalar-vs-columnar matrix in ``BENCH_columnar.json`` — single-core
 plain rows only, since the columnar interpreter serves exactly one
 core.
 
+A fourth group (``make_misschain_rows``) reuses the columnar grid but
+ordered miss-heavy first, timing ``REPRO_BATCH_MISS=0`` vs ``=1`` with
+the columnar interpreter pinned on for both sides — the batched
+miss-chain matrix in ``BENCH_misschain.json``.
+
 The protocol is best-of-N passes per row (noise on shared hardware is
 strictly additive, so the fastest pass is the stable statistic), fixed
 seeds, and rates in refs/sec. ``overall`` aggregates every row: summed
@@ -42,6 +47,10 @@ PROTOCOL = "throughput-v2"
 
 #: Schema tag for BENCH_columnar.json (the REPRO_VECTOR=0 vs =1 matrix).
 COLUMNAR_PROTOCOL = "columnar-v1"
+
+#: Schema tag for BENCH_misschain.json (REPRO_BATCH_MISS=0 vs =1, both
+#: under the columnar interpreter).
+MISSCHAIN_PROTOCOL = "misschain-v1"
 
 
 def make_rows():
@@ -99,6 +108,121 @@ def run_row(row):
         result = run_single(config, scheme, workload, n, seed=SEED)
     elapsed = time.perf_counter() - start
     return result.stat("loads") + result.stat("stores"), elapsed
+
+
+def make_misschain_rows():
+    """The batched-miss-chain matrix rows, gcc (miss-heavy) first.
+
+    Same single-core grid as :func:`make_columnar_rows`, but ordered by
+    how much the row exercises the miss chain: the gcc rows lead because
+    they are the ones the batched engine exists for (sparse access
+    pattern, most references reach L2/LLC/NVM), then the long-run rows
+    (lbm, h264ref), then hit-dominated hmmer where the drain is nearly
+    idle and the matrix mostly checks that the engine costs nothing.
+    """
+    rows = {row[0]: row for row in make_columnar_rows()}
+    order = [
+        "picl/gcc",
+        "ideal/gcc",
+        "picl/lbm",
+        "picl/h264ref",
+        "picl/hmmer",
+        "ideal/hmmer",
+    ]
+    return [rows[label] for label in order]
+
+
+def run_row_engine(row, batched):
+    """Run one row with the batched miss-chain engine forced on or off.
+
+    Both sides run under the columnar interpreter (``REPRO_VECTOR=1``):
+    the engine is the interpreter's residual-miss drain, so the
+    meaningful ratio is batched-drain vs scalar-replay *within* columnar
+    mode. Like ``REPRO_VECTOR``, ``REPRO_BATCH_MISS`` is read when the
+    simulation runs, so it is pinned around the run and restored after.
+    """
+    saved = {
+        name: os.environ.get(name)
+        for name in ("REPRO_VECTOR", "REPRO_BATCH_MISS")
+    }
+    os.environ["REPRO_VECTOR"] = "1"
+    os.environ["REPRO_BATCH_MISS"] = "1" if batched else "0"
+    try:
+        return run_row(row)
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                del os.environ[name]
+            else:
+                os.environ[name] = value
+
+
+def measure_misschain(passes=2, rows=None):
+    """Measure each row with the miss-chain engine off and on, interleaved.
+
+    The same protocol as :func:`measure_columnar`: every pass runs both
+    modes back to back per row so they see identical machine conditions,
+    and the fastest pass per mode is kept. Returns (measurements,
+    overall); ``speedup`` is scalar-chain time over batched-engine time.
+    """
+    if rows is None:
+        rows = make_misschain_rows()
+    measurements = []
+    totals = {"refs": 0, "scalar": 0.0, "batched": 0.0}
+    for row in rows:
+        refs = None
+        best = {False: None, True: None}
+        for _ in range(passes):
+            for batched in (False, True):
+                row_refs, elapsed = run_row_engine(row, batched)
+                refs = row_refs
+                if best[batched] is None or elapsed < best[batched]:
+                    best[batched] = elapsed
+        measurements.append(
+            {
+                "label": row[0],
+                "refs": refs,
+                "scalar_seconds": best[False],
+                "batched_seconds": best[True],
+                "scalar_refs_per_sec": refs / best[False],
+                "batched_refs_per_sec": refs / best[True],
+                "speedup": best[False] / best[True],
+            }
+        )
+        totals["refs"] += refs
+        totals["scalar"] += best[False]
+        totals["batched"] += best[True]
+    overall = {
+        "scalar_refs_per_sec": totals["refs"] / totals["scalar"],
+        "batched_refs_per_sec": totals["refs"] / totals["batched"],
+        "speedup": totals["scalar"] / totals["batched"],
+    }
+    return measurements, overall
+
+
+def misschain_payload(measurements, overall, note=""):
+    """The machine-readable BENCH_misschain.json payload."""
+    return {
+        "protocol": MISSCHAIN_PROTOCOL,
+        "seed": SEED,
+        "note": note,
+        "rows": {
+            m["label"]: {
+                "refs": m["refs"],
+                "scalar_seconds": round(m["scalar_seconds"], 4),
+                "batched_seconds": round(m["batched_seconds"], 4),
+                "scalar_refs_per_sec": round(m["scalar_refs_per_sec"]),
+                "batched_refs_per_sec": round(m["batched_refs_per_sec"]),
+                "speedup": round(m["speedup"], 3),
+            }
+            for m in measurements
+        },
+        "overall": {
+            "scalar_refs_per_sec": round(overall["scalar_refs_per_sec"]),
+            "batched_refs_per_sec": round(overall["batched_refs_per_sec"]),
+            "speedup": round(overall["speedup"], 3),
+        },
+    }
 
 
 def run_row_vector(row, vector):

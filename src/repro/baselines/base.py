@@ -105,6 +105,28 @@ class CrashConsistencyScheme:
         inherited no-op ``on_store`` keeps no state, so nothing to do.
         """
 
+    def miss_engine_profile(self):
+        """Which scheme callbacks the batched miss-chain engine may inline.
+
+        The engine (:mod:`repro.cache.miss_engine`) fuses the scalar
+        L2/LLC/NVM chain into one drain loop; scheme callbacks that are
+        provably the base-class bodies are transcribed inline, everything
+        else stays an attribute call at the exact scalar call site. The
+        booleans report method identity against this base class — a
+        subclass that overrides a hook is automatically reported, so a
+        new scheme degrades to the safe (call) mode without touching the
+        engine.
+        """
+        base = CrashConsistencyScheme
+        cls = type(self)
+        return {
+            "on_store": cls.on_store is not base.on_store,
+            "on_store_repeat": cls.on_store_repeat is not base.on_store_repeat,
+            "write_back": cls.write_back is not base.write_back,
+            "fill_token": cls.fill_token is not base.fill_token,
+            "picl_plain": False,
+        }
+
     # ------------------------------------------------------------------
     # driver protocol
     # ------------------------------------------------------------------

@@ -147,3 +147,39 @@ class EidIndex:
 
     def __len__(self):
         return len(self.sub) + sum(len(b) for b in self.buckets.values())
+
+    # ------------------------------------------------------------------
+    # differential oracle
+    # ------------------------------------------------------------------
+
+    def verify_against(self, cache):
+        """Diff the index against a full sweep of ``cache``'s lines.
+
+        Returns a list of mismatch descriptions (empty = coherent). The
+        batched miss-chain test suite runs this after draining windows
+        that interleave deferred undo appends with inline index updates —
+        the one ordering the engine must *not* batch (a deferred discard
+        could pop a same-addr successor's bucket entry), so divergence
+        here is the canary for that class of bug.
+        """
+        problems = []
+        indexed = 0
+        for addr, line in cache._tags.items():
+            if line.sub_eids is not None:
+                if self.sub.get(addr) is not line:
+                    problems.append("sub line %#x missing/stale" % addr)
+                indexed += 1
+            elif line.eid >= 0:
+                bucket = self.buckets.get(line.eid)
+                if bucket is None or bucket.get(addr) is not line:
+                    problems.append(
+                        "line %#x eid %d missing/stale" % (addr, line.eid)
+                    )
+                indexed += 1
+        held = len(self)
+        if held != indexed:
+            problems.append("index holds %d lines, cache tags %d" % (held, indexed))
+        for eid, bucket in self.buckets.items():
+            if not bucket:
+                problems.append("empty bucket for eid %d survived" % eid)
+        return problems

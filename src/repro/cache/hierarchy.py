@@ -138,6 +138,15 @@ class CacheHierarchy:
             l1._vec = L1TagMirror(
                 l1.n_sets, l1.assoc, l1._line_shift, l1._set_mask
             )
+            # The batched miss-chain engine's *profiling* mode additionally
+            # mirrors L2/LLC tags+EIDs+dirty (LevelMirror) so residual
+            # misses can be classified per level before mutation. Only
+            # attached on request: production drains re-probe the live
+            # dicts anyway, and an attached mirror taxes every inlined
+            # fill/evict site with queue appends.
+            if os.environ.get("REPRO_MISS_PROFILE", "0") == "1":
+                self._l2[0].attach_mirror()
+                self.llc.attach_mirror()
         self.sink = EvictionSink(controller)
         #: Mirrors SetAssocCache._brute_scan: run the original full-sweep
         #: sync paths as a differential oracle (REPRO_BRUTE_SCAN=1).
@@ -329,12 +338,18 @@ class CacheHierarchy:
         line._home = l2
         if line._dirty:
             l2._dirty_lines[line_addr] = line
+        l2_vec = l2._vec
+        if l2_vec is not None:
+            l2_vec.pending.append(line)
         if len(cache_set) > l2.assoc:
             victim = cache_set.pop()
             del l2._tags[victim.addr]
             victim._home = None
             if victim._dirty:
                 del l2._dirty_lines[victim.addr]
+            if l2_vec is not None:
+                l2_vec.removed.append(victim.addr)
+                l2_vec.evictq.append(victim)
             l2._evictions.value += 1
             dropped = self._l1[core].remove(victim.addr)
             if dropped is not None and dropped._dirty:
@@ -367,11 +382,17 @@ class CacheHierarchy:
         index = llc.eid_index
         if index is not None and (line.eid >= 0 or line.sub_eids is not None):
             index.add(line)
+        llc_vec = llc._vec
+        if llc_vec is not None:
+            llc_vec.pending.append(line)
         if len(cache_set) <= llc.assoc:
             return 0
         victim = cache_set.pop()
         del llc._tags[victim.addr]
         victim._home = None
+        if llc_vec is not None:
+            llc_vec.removed.append(victim.addr)
+            llc_vec.evictq.append(victim)
         if victim._dirty:
             del llc._dirty_lines[victim.addr]
         # Inlined EidIndex.discard: under PiCL nearly every victim is
@@ -463,6 +484,9 @@ class CacheHierarchy:
             l2_copy._home = None
             if l2_copy._dirty:
                 del l2._dirty_lines[addr]
+            if l2._vec is not None:
+                l2._vec.removed.append(addr)
+                l2._vec.evictq.append(l2_copy)
         # L1 holds the freshest data; fall back to L2.
         if l1_copy is not None and l1_copy._dirty:
             self._merge_lines(llc_victim, l1_copy)

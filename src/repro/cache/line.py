@@ -94,6 +94,8 @@ class CacheLine:
             home = self._home
             if home is not None and home.eid_index is not None:
                 home.eid_index.retag(self, old)
+                if home._vec is not None:
+                    home._vec.eidq.append(self)
 
     def init_sub_eids(self, n_sub_blocks):
         """Switch the line to sub-block tracking (all sub-EIDs unset).

@@ -1,0 +1,1030 @@
+"""Batched miss-chain engine: the L2/LLC/NVM slow path as one fused loop.
+
+The columnar interpreter (PR 6) made classified L1 hits nearly free, which
+left miss-heavy rows at parity: every residual reference replays through
+``CacheHierarchy.access`` — a chain of six-plus Python calls per miss
+(``access`` → ``_fill_to_l1`` → ``_fill_to_l2`` → ``_insert_llc`` →
+``demand_fill``/``write_back`` → channel arithmetic), each re-resolving
+attributes the previous frame already held. Profiling a gcc row shows the
+per-call overhead of exactly this chain dominating end-to-end time.
+
+This module replaces that chain with a **drain**: a single closure that
+processes a span of residual references with the entire miss chain
+transcribed inline — L1/L2/LLC probes, victim selection in eviction
+order, NVM channel recurrences as local-integer arithmetic, the scheme's
+store/write-back callbacks either transcribed (when provably the known
+bodies) or called at the exact scalar call sites — plus *deferred batch
+bookkeeping*:
+
+* stat counters accumulate in locals and land once per drain
+  (delta-commutative with anything an out-of-line callee bumps);
+* PiCL undo entries for cross-epoch stores defer only the FIFO append:
+  the bloom filter and pending-address set (the structures the eviction
+  hazard probe reads) update eagerly per entry, while the ``_entries``
+  extend and entries-created counter land in one batch per run — the
+  hazard probe stays live with zero pre-probe work;
+* ``core.cycle`` / ``mem_stall_cycles`` / ``system._next_token`` live in
+  locals and are written back on exit.
+
+**Bit-identity argument.** The drain visits references in exactly the
+scalar order and mutates all *shared* structures (tag dicts, LRU lists,
+dirty dicts, EID index, mirror queues, NVM image, undo log) at exactly
+the scalar program points. Deferral is restricted to state nothing reads
+mid-drain, and every deferral is forced down before any point that could
+observe it:
+
+* pending undo entries are merged into ``buffer._entries`` before any
+  hazard-triggered ``buffer.flush``, before any ``buffer.add`` that
+  could cross capacity (so the flush fires at the scalar trigger entry
+  with the scalar issue cycle; the capacity test counts
+  ``_entries + pend``), before every fault-plan notify, and at drain
+  exit — in particular they are always down before any site can raise
+  ``CrashSignal``, so crash snapshots are token-exact. The bloom filter
+  and pending-address set never lag at all (eager updates), so the
+  hazard probe needs no pre-merge;
+* channel timing state is held in locals but synced to the ``_Channel``
+  object around every external call (undo flushes and scheme callbacks
+  issue NVM traffic of their own); a live-flag keeps the exit sync from
+  clobbering updates made by a callee that raised;
+* counters/cycles/tokens flush in a ``finally``, so even a mid-drain
+  ``CrashSignal`` leaves exactly the scalar crash-time values.
+
+**Safety conditions** (checked by :func:`build_engine`; any failure
+falls back to the scalar path, bit-identically):
+
+* ``REPRO_BATCH_MISS`` not ``0`` (the escape hatch);
+* single core with the columnar L1 mirror attached;
+* no DRAM cache in front of NVM, plain single-channel ``NvmDevice``
+  (the banked/open-page device has per-bank state the inline recurrence
+  does not model);
+* the hierarchy's eviction sink is the scheme itself.
+
+Scheme dispatch is derived from method identity
+(:meth:`repro.baselines.base.CrashConsistencyScheme.miss_engine_profile`):
+unknown overrides degrade to out-of-line calls at the scalar call sites,
+so a new scheme is automatically safe, just not automatically fast.
+
+The EID-index discard on LLC eviction is deliberately **never** deferred:
+with a deferred discard, an old line and a same-address successor with
+the same EID would share a bucket slot, and the late discard would pop
+the successor's entry — index drift the fail-fast ``retag`` would only
+catch much later. ``EidIndex.verify_against`` is the differential oracle
+for exactly this class of bug.
+"""
+
+import os
+
+from repro.baselines.base import CrashConsistencyScheme
+from repro.cache.line import CacheLine, LineState
+from repro.common.eid import EpochId
+from repro.common.errors import SimulationError
+from repro.core.picl import PiclScheme
+from repro.core.undo import UndoEntry
+from repro.mem.nvm import AccessCategory, NvmDevice
+
+#: write-back dispatch: out-of-line call / inline base body / inline PiCL body
+_WB_CALL, _WB_BASE, _WB_PICL = 0, 1, 2
+
+
+def build_engine(sim):
+    """Build the miss-chain engine for ``sim``, or None when ineligible."""
+    if os.environ.get("REPRO_BATCH_MISS", "1") == "0":
+        return None
+    hierarchy = sim.hierarchy
+    if hierarchy.n_cores != 1:
+        return None
+    if hierarchy._l1[0]._vec is None:
+        return None
+    if hierarchy.sink is not sim.scheme:
+        return None
+    controller = hierarchy.controller
+    if controller.dram_cache is not None:
+        return None
+    device = controller.device
+    # Exactly the plain closed-page device whose channel recurrence the
+    # drain transcribes; the banked open-page subclass (and any future
+    # device) keeps the scalar path.
+    if type(device) is not NvmDevice or device._only_channel is None:
+        return None
+    return MissChainEngine(sim, controller, device)
+
+
+class MissChainEngine:
+    """Per-simulation state + the drain-closure factory."""
+
+    def __init__(self, sim, controller, device):
+        hierarchy = sim.hierarchy
+        self.hierarchy = hierarchy
+        self.system = sim.system
+        self.scheme = sim.scheme
+        self.core = sim.cores[0]
+        self.controller = controller
+        self.device = device
+        self.l1 = hierarchy._l1[0]
+        self.l2 = hierarchy._l2[0]
+        self.llc = hierarchy.llc
+        self.vec = self.l1._vec
+
+        sink = hierarchy.sink
+        wb = type(sink).write_back
+        if wb is CrashConsistencyScheme.write_back:
+            self.wb_mode = _WB_BASE
+        elif wb is PiclScheme.write_back:
+            self.wb_mode = _WB_PICL
+        else:
+            self.wb_mode = _WB_CALL
+        profile = sink.miss_engine_profile()
+        self.fill_token_overridden = profile["fill_token"]
+        # PiCL state (None-safe for every other scheme).
+        self.buffer = getattr(sink, "buffer", None)
+
+    # ------------------------------------------------------------------
+    # window classification (profiling / Amdahl accounting)
+    # ------------------------------------------------------------------
+
+    def classify(self, miss_addrs):
+        """Classify residual miss addresses per level, mutation-free.
+
+        Requires the L2/LLC :class:`~repro.cache.vector_mirror.LevelMirror`
+        planes (``REPRO_MISS_PROFILE=1``). Returns a dict with the class
+        counts the docs' Amdahl breakdown uses: classified L2 hits, LLC
+        hits, NVM fills, and how many NVM fills land in LLC sets whose
+        LRU way is dirty (a write-back-likely fill). Advisory by design —
+        the drain re-probes live dicts — so this never feeds timing.
+        """
+        import numpy as np
+
+        l2_vec = self.l2._vec
+        llc_vec = self.llc._vec
+        if l2_vec is None or llc_vec is None or not len(miss_addrs):
+            return None
+        l2_vec.sync_level(self.l2)
+        llc_vec.sync_level(self.llc)
+        a = np.asarray(miss_addrs, dtype=np.int64)
+        s2 = (a >> l2_vec._line_shift) & l2_vec._set_mask
+        l2_hit = (l2_vec.tags2d[s2] == a[:, None]).any(axis=1)
+        sL = (a >> llc_vec._line_shift) & llc_vec._set_mask
+        llc_rows = llc_vec.tags2d[sL]
+        llc_hit = (llc_rows == a[:, None]).any(axis=1)
+        nvm = ~l2_hit & ~llc_hit
+        full = (llc_rows != -1).all(axis=1)
+        lru_dirty = llc_vec.dirty2d[sL][:, -1] != 0
+        return {
+            "misses": int(a.size),
+            "l2_hits": int(np.count_nonzero(l2_hit)),
+            "llc_hits": int(np.count_nonzero(llc_hit & ~l2_hit)),
+            "nvm_fills": int(np.count_nonzero(nvm)),
+            "dirty_victim_fills": int(np.count_nonzero(nvm & full & lru_dirty)),
+        }
+
+    # ------------------------------------------------------------------
+    # the drain
+    # ------------------------------------------------------------------
+
+    def make_drain(self, gaps, addrs, writes, cum, run_ends, wcum):
+        """Build the fused drain for one trace chunk.
+
+        Returns ``drain(i, stop, seg_end, sfilter) -> new i`` with the
+        same contract as the interpreter's ``scalar_span``: processes
+        references in ``[i, stop)`` exactly, may advance past ``stop``
+        (never ``seg_end``) through run-coalescing tails. ``sfilter`` is
+        the segment's ``vector_store_filter()`` value and fixes the store
+        dispatch for the whole call (the SystemEID only moves at segment
+        boundaries).
+        """
+        hierarchy = self.hierarchy
+        system = self.system
+        scheme = self.scheme
+        controller = self.controller
+        device = self.device
+        l1, l2, llc = self.l1, self.l2, self.llc
+        vec = self.vec
+        buffer = self.buffer
+        bloom = buffer.bloom if buffer is not None else None
+        channel = device._only_channel
+
+        def drain(
+            i,
+            stop,
+            seg_end,
+            sfilter,
+            # Default-arg binding, like the interpreter's scalar_span: the
+            # body runs per reference and locals beat closure derefs.
+            gaps=gaps,
+            addrs=addrs,
+            writes=writes,
+            cum=cum,
+            run_ends=run_ends,
+            wcum=wcum,
+            system=system,
+            scheme=scheme,
+            sink=hierarchy.sink,
+            track=system.track_reference,
+            arch_image=system.arch_image,
+            modified=LineState.MODIFIED,
+            # L1
+            l1=l1,
+            l1_tags=l1._tags,
+            l1_sets=l1._sets,
+            l1_dirty=l1._dirty_lines,
+            l1_shift=l1._line_shift,
+            l1_mask=l1._set_mask,
+            l1_assoc=l1.assoc,
+            l1_latency=l1.hit_latency,
+            vec_pending=vec.pending,
+            vec_evictq=vec.evictq,
+            vec_eidq=vec.eidq,
+            vec_removed=vec.removed,
+            # L2
+            l2=l2,
+            l2_tags=l2._tags,
+            l2_sets=l2._sets,
+            l2_dirty=l2._dirty_lines,
+            l2_shift=l2._line_shift,
+            l2_mask=l2._set_mask,
+            l2_assoc=l2.assoc,
+            l2_latency=l2.hit_latency,
+            l2_vec=l2._vec,
+            # LLC
+            llc=llc,
+            llc_tags=llc._tags,
+            llc_sets=llc._sets,
+            llc_dirty=llc._dirty_lines,
+            llc_shift=llc._line_shift,
+            llc_mask=llc._set_mask,
+            llc_assoc=llc.assoc,
+            llc_latency=llc.hit_latency,
+            llc_vec=llc._vec,
+            index=llc.eid_index,
+            buckets=llc.eid_index.buckets if llc.eid_index is not None else None,
+            index_refresh=(
+                llc.eid_index.refresh if llc.eid_index is not None else None
+            ),
+            # NVM / controller
+            channel=channel,
+            read_occ=device._line_read_occupancy,
+            write_occ=device._line_write_occupancy,
+            icap=device._interference_cap,
+            qlimit=device._queue_limit,
+            img_lines=controller.image._lines,
+            smf=hierarchy.store_miss_factor,
+            # dispatch
+            wb_mode=self.wb_mode,
+            ft=(hierarchy.sink.fill_token if self.fill_token_overridden else None),
+            sink_on_store=hierarchy.sink.on_store,
+            sink_repeat=hierarchy.sink.on_store_repeat,
+            sink_wb=hierarchy.sink.write_back,
+            snoop=hierarchy._snoop_invalidate,
+            # PiCL inline state
+            buffer=buffer,
+            bloom=bloom,
+            bloom_add=(bloom.add if bloom is not None else None),
+            created=(buffer._entries_created if buffer is not None else None),
+            epochs=getattr(scheme, "epochs", None),
+            bwords=(bloom._words if bloom is not None else None),
+            bmask=(bloom._mask if bloom is not None else None),
+            bloom2=(bloom is not None and bloom.n_hashes == 2),
+            capacity=(buffer.capacity if buffer is not None else 0),
+            # fault plans (installed before run(); bound per chunk)
+            h_fault=hierarchy.fault_plan,
+            s_fault=getattr(scheme, "fault_plan", None),
+            # stat slots (deferred via local deltas, flushed in finally)
+            stats_add=hierarchy.stats.add,
+            s_l1_hits=hierarchy._l1_hits,
+            s_loads=hierarchy._loads,
+            s_stores=hierarchy._stores,
+            s_l1_miss=hierarchy._l1_misses,
+            s_l2_hits=hierarchy._l2_hits,
+            s_l2_miss=hierarchy._l2_misses,
+            s_llc_hits=hierarchy._llc_hits,
+            s_llc_miss=hierarchy._llc_misses,
+            s_llc_dirty=hierarchy._llc_dirty_evictions,
+            s_llc_clean=hierarchy._llc_clean_evictions,
+            s_l1_ev=l1._evictions,
+            s_l2_ev=l2._evictions,
+            s_llc_ev=llc._evictions,
+            s_fills=controller._demand_fills,
+            s_wbs=controller._writebacks,
+            s_iops_dr=device._iops_slots[AccessCategory.DEMAND_READ],
+            s_iops_wb=device._iops_slots[AccessCategory.WRITEBACK],
+            s_bytes_r=device._bytes_read,
+            s_bytes_w=device._bytes_written,
+            s_cross=getattr(scheme, "_cross_epoch_stores", None),
+            CacheLine=CacheLine,
+            new_line=CacheLine.__new__,
+            EXCLUSIVE=LineState.EXCLUSIVE,
+            EID_NONE=EpochId.NONE,
+            SimulationError=SimulationError,
+            UndoEntry=UndoEntry,
+            core=self.core,
+        ):
+            # Store dispatch for this call (see vector_store_filter): True
+            # -> scheme-silent (base on_store, inline no-op); False -> call
+            # sink.on_store per store; int -> PiCL's plain mode, with the
+            # full cross-epoch branch transcribed inline.
+            if sfilter is True:
+                smode = 0
+            elif sfilter is False:
+                smode = 1
+            else:
+                smode = 2
+                sys_eid = sfilter
+            # Deferred accumulators.
+            ccycle = core.cycle
+            mstall = core.mem_stall_cycles
+            ntok = system._next_token
+            seq_delta = 0
+            d_l1_hits = d_loads = d_stores = d_l1_miss = 0
+            d_l2_hits = d_l2_miss = d_llc_hits = d_llc_miss = 0
+            d_llc_dirty = d_llc_clean = d_l1_ev = d_l2_ev = d_llc_ev = 0
+            d_fills = d_wbs = d_iops_dr = d_iops_wb = 0
+            d_bytes_r = d_bytes_w = d_cross = 0
+            # Deferred undo entries. Only the FIFO extend (and the
+            # entries-created counter) is deferred: the pending set and
+            # bloom filter — the two structures the hazard probe reads —
+            # update eagerly per entry, so ``pend`` merges down only at a
+            # real flush point (hazard flush, capacity crossing, fault
+            # notify, drain exit), not before every probe. ``pend`` is
+            # nonempty only in smode 2, i.e. only when the sink is PiCL.
+            pend = []
+            # Channel recurrence state as local ints; ch_live flags when
+            # the locals (not the object) are authoritative.
+            rbu = channel.read_busy_until
+            wbk = channel.write_backlog
+            bua = channel.backlog_updated_at
+            ch_live = True
+            try:
+                while i < stop:
+                    cycle = ccycle + gaps[i]
+                    addr = addrs[i]
+                    w = writes[i]
+                    if w:
+                        # Token drawn before the access chain, as the
+                        # scalar loop does — a crash mid-fill must leave
+                        # the scalar _next_token.
+                        token = ntok
+                        ntok = token + 1
+                    line = l1_tags.get(addr)
+                    if line is not None:
+                        cache_set = l1_sets[(addr >> l1_shift) & l1_mask]
+                        if cache_set[0] is not line:
+                            cache_set.remove(line)
+                            cache_set.insert(0, line)
+                        d_l1_hits += 1
+                        wait = l1_latency
+                    else:
+                        # ==== _fill_to_l1, transcribed ====
+                        d_l1_miss += 1
+                        fstall = 0
+                        source = l2_tags.get(addr)
+                        if source is not None:
+                            cache_set = l2_sets[(addr >> l2_shift) & l2_mask]
+                            if cache_set[0] is not source:
+                                cache_set.remove(source)
+                                cache_set.insert(0, source)
+                            lat = l2_latency
+                            d_l2_hits += 1
+                        else:
+                            d_l2_miss += 1
+                            # ==== _fill_to_l2, transcribed ====
+                            llc_line = llc_tags.get(addr)
+                            if llc_line is not None:
+                                cache_set = llc_sets[
+                                    (addr >> llc_shift) & llc_mask
+                                ]
+                                if cache_set[0] is not llc_line:
+                                    cache_set.remove(llc_line)
+                                    cache_set.insert(0, llc_line)
+                                lat2 = llc_latency
+                                d_llc_hits += 1
+                                if (
+                                    llc_line.owner is not None
+                                    and llc_line.owner != 0
+                                ):
+                                    # Unreachable single-core (owner is
+                                    # 0/None); kept for fidelity.
+                                    snoop(llc_line)
+                            else:
+                                d_llc_miss += 1
+                                if ft is not None:
+                                    # (pend is provably empty here: ft is
+                                    # non-None only for redo schemes, whose
+                                    # store filter forces smode 1.)
+                                    channel.read_busy_until = rbu
+                                    channel.write_backlog = wbk
+                                    channel.backlog_updated_at = bua
+                                    ch_live = False
+                                    override = ft(addr)
+                                    rbu = channel.read_busy_until
+                                    wbk = channel.write_backlog
+                                    bua = channel.backlog_updated_at
+                                    ch_live = True
+                                else:
+                                    override = None
+                                # NvmDevice.read_line / _Channel.read,
+                                # transcribed on locals.
+                                if cycle > bua:
+                                    wbk -= cycle - bua
+                                    if wbk < 0:
+                                        wbk = 0
+                                    bua = cycle
+                                start = rbu if rbu > cycle else cycle
+                                start += wbk if wbk < icap else icap
+                                finish = start + read_occ
+                                rbu = finish
+                                d_iops_dr += 1
+                                d_bytes_r += 64
+                                d_fills += 1
+                                mem_lat = finish - cycle
+                                if override is not None:
+                                    token_f = override
+                                    stats_add("llc.fills_from_log")
+                                else:
+                                    # MemoryImage.read inline (0 is
+                                    # INITIAL_TOKEN; _lines never rebinds
+                                    # outside restore()).
+                                    token_f = img_lines.get(addr, 0)
+                                # CacheLine.__init__, slot-by-slot (one
+                                # fresh line per NVM fill).
+                                llc_line = new_line(CacheLine)
+                                llc_line.addr = addr
+                                llc_line.state = EXCLUSIVE
+                                llc_line._dirty = False
+                                llc_line.token = token_f
+                                llc_line.eid = EID_NONE
+                                llc_line.owner = None
+                                llc_line.sub_eids = None
+                                llc_line._home = None
+                                llc_line._vslot = -1
+                                # ==== _insert_llc, transcribed ====
+                                cache_set = llc_sets[
+                                    (addr >> llc_shift) & llc_mask
+                                ]
+                                cache_set.insert(0, llc_line)
+                                llc_tags[addr] = llc_line
+                                llc_line._home = llc
+                                # (fresh line: clean, untagged — the dirty
+                                # dict / EID index inserts are dead code)
+                                if llc_vec is not None:
+                                    llc_vec.pending.append(llc_line)
+                                if len(cache_set) > llc_assoc:
+                                    victim = cache_set.pop()
+                                    vaddr = victim.addr
+                                    del llc_tags[vaddr]
+                                    victim._home = None
+                                    if victim._dirty:
+                                        del llc_dirty[vaddr]
+                                    if llc_vec is not None:
+                                        llc_vec.removed.append(vaddr)
+                                        llc_vec.evictq.append(victim)
+                                    # EidIndex.discard, inline — never
+                                    # deferred (see module docstring).
+                                    if index is not None:
+                                        if victim.sub_eids is not None:
+                                            index.sub.pop(vaddr, None)
+                                        elif victim.eid >= 0:
+                                            bucket = buckets.get(victim.eid)
+                                            if bucket is not None:
+                                                bucket.pop(vaddr, None)
+                                                if not bucket:
+                                                    del buckets[victim.eid]
+                                    d_llc_ev += 1
+                                    # ==== _back_invalidate, transcribed
+                                    owner = victim.owner
+                                    if owner is not None:
+                                        l1_copy = l1_tags.pop(vaddr, None)
+                                        if l1_copy is not None:
+                                            l1_sets[
+                                                (vaddr >> l1_shift) & l1_mask
+                                            ].remove(l1_copy)
+                                            l1_copy._home = None
+                                            if l1_copy._dirty:
+                                                del l1_dirty[vaddr]
+                                            vec_removed.append(vaddr)
+                                            vec_evictq.append(l1_copy)
+                                        l2_copy = l2_tags.pop(vaddr, None)
+                                        if l2_copy is not None:
+                                            l2_sets[
+                                                (vaddr >> l2_shift) & l2_mask
+                                            ].remove(l2_copy)
+                                            l2_copy._home = None
+                                            if l2_copy._dirty:
+                                                del l2_dirty[vaddr]
+                                            if l2_vec is not None:
+                                                l2_vec.removed.append(vaddr)
+                                                l2_vec.evictq.append(l2_copy)
+                                        if l1_copy is not None and l1_copy._dirty:
+                                            src = l1_copy
+                                        elif l2_copy is not None and l2_copy._dirty:
+                                            src = l2_copy
+                                        else:
+                                            src = None
+                                        if src is not None:
+                                            # _merge_lines inline: the LLC
+                                            # victim is detached (_home is
+                                            # None), so the dirty-dict and
+                                            # EID-index arms are dead.
+                                            victim.token = src.token
+                                            victim._dirty = True
+                                            victim.eid = src.eid
+                                            if src.sub_eids is not None:
+                                                victim.sub_eids = list(
+                                                    src.sub_eids
+                                                )
+                                        victim.owner = None
+                                    if victim._dirty:
+                                        d_llc_dirty += 1
+                                        vtok = victim.token
+                                        if h_fault is not None:
+                                            # Merge pend so a crash here
+                                            # observes the exact scalar
+                                            # buffer contents.
+                                            if pend:
+                                                buffer._entries.extend(pend)
+                                                created.value += len(pend)
+                                                pend = []
+                                            h_fault.notify("llc_eviction")
+                                        if wb_mode == 2:
+                                            # PiclScheme.write_back +
+                                            # eviction_hazard, transcribed.
+                                            # Bloom and pending-set were
+                                            # updated eagerly at pend time,
+                                            # so the probe is live without
+                                            # merging pend first.
+                                            hstall = 0
+                                            if buffer._entries or pend:
+                                                if bloom2:
+                                                    h1 = (
+                                                        vaddr * 2654435761
+                                                    ) & 0xFFFFFFFF
+                                                    pos = h1 & bmask
+                                                    maybe = (
+                                                        bwords[pos >> 6]
+                                                        >> (pos & 63)
+                                                    ) & 1
+                                                    if maybe:
+                                                        pos = (
+                                                            h1
+                                                            + (
+                                                                (
+                                                                    (vaddr >> 6)
+                                                                    * 40503
+                                                                    + 0x9E3779B9
+                                                                )
+                                                                & 0xFFFFFFFF
+                                                            )
+                                                        ) & bmask
+                                                        maybe = (
+                                                            bwords[pos >> 6]
+                                                            >> (pos & 63)
+                                                        ) & 1
+                                                else:
+                                                    maybe = buffer.bloom.might_contain(
+                                                        vaddr
+                                                    )
+                                                if maybe:
+                                                    if (
+                                                        vaddr
+                                                        not in buffer._pending_addrs
+                                                    ):
+                                                        stats_add(
+                                                            "undo.bloom_false_positives"
+                                                        )
+                                                    stats_add("undo.forced_flushes")
+                                                    if pend:
+                                                        buffer._entries.extend(
+                                                            pend
+                                                        )
+                                                        created.value += len(pend)
+                                                        pend = []
+                                                    channel.read_busy_until = rbu
+                                                    channel.write_backlog = wbk
+                                                    channel.backlog_updated_at = bua
+                                                    ch_live = False
+                                                    hstall = buffer.flush(cycle)
+                                                    rbu = channel.read_busy_until
+                                                    wbk = channel.write_backlog
+                                                    bua = channel.backlog_updated_at
+                                                    ch_live = True
+                                            if s_fault is not None:
+                                                if pend:
+                                                    buffer._entries.extend(pend)
+                                                    created.value += len(pend)
+                                                    pend = []
+                                                s_fault.notify("pre_inplace")
+                                            wnow = cycle + hstall
+                                        elif wb_mode == 1:
+                                            hstall = 0
+                                            wnow = cycle
+                                        else:
+                                            # (pend is provably empty: pend
+                                            # appends only in smode 2, which
+                                            # implies wb_mode 2.)
+                                            channel.read_busy_until = rbu
+                                            channel.write_backlog = wbk
+                                            channel.backlog_updated_at = bua
+                                            ch_live = False
+                                            fstall += sink_wb(vaddr, vtok, cycle)
+                                            rbu = channel.read_busy_until
+                                            wbk = channel.write_backlog
+                                            bua = channel.backlog_updated_at
+                                            ch_live = True
+                                            wnow = None
+                                        if wnow is not None:
+                                            # controller.writeback /
+                                            # _Channel.post_write on locals.
+                                            if wnow > bua:
+                                                wbk -= wnow - bua
+                                                if wbk < 0:
+                                                    wbk = 0
+                                                bua = wnow
+                                            if wbk > qlimit:
+                                                st = wbk - qlimit
+                                                t2 = wnow + st
+                                                if t2 > bua:
+                                                    wbk -= t2 - bua
+                                                    if wbk < 0:
+                                                        wbk = 0
+                                                    bua = t2
+                                            else:
+                                                st = 0
+                                            wbk += write_occ
+                                            d_iops_wb += 1
+                                            d_bytes_w += 64
+                                            img_lines[vaddr] = vtok
+                                            d_wbs += 1
+                                            fstall += hstall + st
+                                    else:
+                                        d_llc_clean += 1
+                                lat2 = llc_latency + mem_lat
+                            llc_line.owner = 0
+                            # copy_fill inline (LLC → L2).
+                            source = new_line(CacheLine)
+                            source.addr = addr
+                            source.state = EXCLUSIVE
+                            source._dirty = False
+                            source.token = llc_line.token
+                            source.eid = llc_line.eid
+                            source.owner = None
+                            sub = llc_line.sub_eids
+                            source.sub_eids = (
+                                list(sub) if sub is not None else None
+                            )
+                            source._home = None
+                            source._vslot = -1
+                            cache_set = l2_sets[(addr >> l2_shift) & l2_mask]
+                            cache_set.insert(0, source)
+                            l2_tags[addr] = source
+                            source._home = l2
+                            # (copy_fill lines are clean: no dirty insert)
+                            if l2_vec is not None:
+                                l2_vec.pending.append(source)
+                            if len(cache_set) > l2_assoc:
+                                victim = cache_set.pop()
+                                vaddr = victim.addr
+                                del l2_tags[vaddr]
+                                victim._home = None
+                                if victim._dirty:
+                                    del l2_dirty[vaddr]
+                                if l2_vec is not None:
+                                    l2_vec.removed.append(vaddr)
+                                    l2_vec.evictq.append(victim)
+                                d_l2_ev += 1
+                                # l1.remove(vaddr), inline (L1 has no EID
+                                # index; the mirror queues are eager).
+                                dropped = l1_tags.pop(vaddr, None)
+                                if dropped is not None:
+                                    l1_sets[
+                                        (vaddr >> l1_shift) & l1_mask
+                                    ].remove(dropped)
+                                    dropped._home = None
+                                    if dropped._dirty:
+                                        del l1_dirty[vaddr]
+                                    vec_removed.append(vaddr)
+                                    vec_evictq.append(dropped)
+                                if dropped is not None and dropped._dirty:
+                                    # _merge_lines inline: the L2 victim is
+                                    # detached (_home None) — only the data
+                                    # fold is live.
+                                    victim.token = dropped.token
+                                    victim._dirty = True
+                                    victim.eid = dropped.eid
+                                    if dropped.sub_eids is not None:
+                                        victim.sub_eids = list(
+                                            dropped.sub_eids
+                                        )
+                                if victim._dirty:
+                                    target = llc_tags.get(vaddr)
+                                    if target is None:
+                                        raise SimulationError(
+                                            "inclusion violated: L2 victim "
+                                            "%#x absent from LLC" % vaddr
+                                        )
+                                    # _merge_lines inline: target lives in
+                                    # the LLC — dirty dict, EID-index
+                                    # refresh, and mirror queue are live.
+                                    target.token = victim.token
+                                    if not target._dirty:
+                                        target._dirty = True
+                                        llc_dirty[vaddr] = target
+                                    old = target.eid
+                                    new_eid = victim.eid
+                                    had_sub = target.sub_eids is not None
+                                    target.eid = new_eid
+                                    if victim.sub_eids is not None:
+                                        target.sub_eids = list(
+                                            victim.sub_eids
+                                        )
+                                    if new_eid != old or (
+                                        target.sub_eids is not None
+                                        and not had_sub
+                                    ):
+                                        if index is not None:
+                                            index_refresh(
+                                                target, old, had_sub
+                                            )
+                                        if llc_vec is not None:
+                                            llc_vec.eidq.append(target)
+                            lat = lat2 + l2_latency
+                        # copy_fill inline (L2 → L1).
+                        line = new_line(CacheLine)
+                        line.addr = addr
+                        line.state = EXCLUSIVE
+                        line._dirty = False
+                        line.token = source.token
+                        line.eid = source.eid
+                        line.owner = None
+                        sub = source.sub_eids
+                        line.sub_eids = list(sub) if sub is not None else None
+                        line._home = None
+                        line._vslot = -1
+                        cache_set = l1_sets[(addr >> l1_shift) & l1_mask]
+                        cache_set.insert(0, line)
+                        l1_tags[addr] = line
+                        line._home = l1
+                        # (copy_fill lines are clean: no dirty insert)
+                        vec_pending.append(line)
+                        if len(cache_set) > l1_assoc:
+                            victim = cache_set.pop()
+                            vaddr = victim.addr
+                            del l1_tags[vaddr]
+                            victim._home = None
+                            vec_removed.append(vaddr)
+                            vec_evictq.append(victim)
+                            d_l1_ev += 1
+                            if victim._dirty:
+                                del l1_dirty[vaddr]
+                                # _merge_down into L2
+                                target = l2_tags.get(vaddr)
+                                if target is None:
+                                    raise SimulationError(
+                                        "inclusion violated: L1 victim %#x "
+                                        "absent from l2" % vaddr
+                                    )
+                                # _merge_lines inline: target lives in the
+                                # L2 — dirty dict and mirror queue live, no
+                                # EID index on private caches.
+                                target.token = victim.token
+                                if not target._dirty:
+                                    target._dirty = True
+                                    l2_dirty[vaddr] = target
+                                old = target.eid
+                                new_eid = victim.eid
+                                had_sub = target.sub_eids is not None
+                                target.eid = new_eid
+                                if victim.sub_eids is not None:
+                                    target.sub_eids = list(victim.sub_eids)
+                                if new_eid != old or (
+                                    target.sub_eids is not None
+                                    and not had_sub
+                                ):
+                                    if l2_vec is not None:
+                                        l2_vec.eidq.append(target)
+                        fill_lat = lat + l1_latency
+                        if w:
+                            wait = int(fill_lat * smf) + fstall
+                        else:
+                            wait = fill_lat + fstall
+                    # ==== the store continuation of access() ====
+                    if w:
+                        if smode == 2:
+                            # PiclScheme.on_store, plain mode, transcribed:
+                            # cheap same-epoch branch, else the full branch
+                            # with the undo append deferred into ``pend``.
+                            seq_delta += 1
+                            if line.eid != sys_eid:
+                                vf = line.eid
+                                if vf < 0:
+                                    vf = epochs.persisted_eid
+                                entry = UndoEntry(addr, line.token, vf, sys_eid)
+                                if (
+                                    len(buffer._entries) + len(pend) + 1
+                                    >= capacity
+                                ):
+                                    # The capacity-reaching entry goes
+                                    # through add() so the flush fires at
+                                    # the scalar trigger with the scalar
+                                    # issue cycle (add() itself does the
+                                    # bloom/pending/created work for it).
+                                    if pend:
+                                        buffer._entries.extend(pend)
+                                        created.value += len(pend)
+                                        pend = []
+                                    channel.read_busy_until = rbu
+                                    channel.write_backlog = wbk
+                                    channel.backlog_updated_at = bua
+                                    ch_live = False
+                                    wait += buffer.add(entry, cycle)
+                                    rbu = channel.read_busy_until
+                                    wbk = channel.write_backlog
+                                    bua = channel.backlog_updated_at
+                                    ch_live = True
+                                else:
+                                    # Defer the FIFO append, but update the
+                                    # hazard-probe structures eagerly —
+                                    # BloomFilter.add (2-hash, unrolled)
+                                    # and the pending-address set.
+                                    pend.append(entry)
+                                    buffer._pending_addrs.add(addr)
+                                    if bloom2:
+                                        h1 = (addr * 2654435761) & 0xFFFFFFFF
+                                        pos = h1 & bmask
+                                        bwords[pos >> 6] |= 1 << (pos & 63)
+                                        pos = (
+                                            h1
+                                            + (
+                                                ((addr >> 6) * 40503 + 0x9E3779B9)
+                                                & 0xFFFFFFFF
+                                            )
+                                        ) & bmask
+                                        bwords[pos >> 6] |= 1 << (pos & 63)
+                                        bloom._population += 1
+                                    else:
+                                        bloom_add(addr)
+                                # apply_store on the L1 line (64 B, no
+                                # EID index on private caches).
+                                line.eid = sys_eid
+                                d_cross += 1
+                                # Undo forwarding: retag the LLC copy,
+                                # EID-index exact (apply_store inline).
+                                llc_fwd = llc_tags.get(addr)
+                                if llc_fwd is None:
+                                    raise SimulationError(
+                                        "inclusion violated: stored line "
+                                        "%#x absent from LLC" % addr
+                                    )
+                                if llc_fwd is not line:
+                                    # apply_store on the LLC copy:
+                                    # EidIndex.retag transcribed (strict
+                                    # KeyError on drift, like the index).
+                                    old = llc_fwd.eid
+                                    if old != sys_eid:
+                                        llc_fwd.eid = sys_eid
+                                        if llc_fwd.sub_eids is None:
+                                            if old >= 0:
+                                                bucket = buckets[old]
+                                                del bucket[addr]
+                                                if not bucket:
+                                                    del buckets[old]
+                                            bucket = buckets.get(sys_eid)
+                                            if bucket is None:
+                                                bucket = buckets[sys_eid] = {}
+                                            bucket[addr] = llc_fwd
+                                            if llc_vec is not None:
+                                                llc_vec.eidq.append(llc_fwd)
+                        elif smode == 1:
+                            # (pend is provably empty in smode 1.)
+                            channel.read_busy_until = rbu
+                            channel.write_backlog = wbk
+                            channel.backlog_updated_at = bua
+                            ch_live = False
+                            wait += sink_on_store(0, line, cycle)
+                            rbu = channel.read_busy_until
+                            wbk = channel.write_backlog
+                            bua = channel.backlog_updated_at
+                            ch_live = True
+                        # smode 0: base on_store is a no-op.
+                        line.token = token
+                        if not line._dirty:
+                            line._dirty = True
+                            l1_dirty[addr] = line
+                        line.state = modified
+                        vec_eidq.append(line)
+                        d_stores += 1
+                        if track:
+                            arch_image[addr] = token
+                    else:
+                        d_loads += 1
+                    ccycle = cycle + wait
+                    mstall += wait
+                    # ==== run-coalescing tail (access_repeat inline) ====
+                    run_end = run_ends[i]
+                    if run_end > seg_end:
+                        run_end = seg_end
+                    i += 1
+                    if run_end > i:
+                        k = run_end - i
+                        kw = wcum[run_end - 1] - wcum[i - 1]
+                        if kw:
+                            # The head access just made ``line`` resident
+                            # and MRU (fills insert at the front, hits
+                            # move to it, and no scheme callback evicts
+                            # L1 lines), so the scalar probe is provably
+                            # true and skipped; the dirty/MODIFIED guard
+                            # is real — the head may have been a load.
+                            ok = False
+                            if line._dirty and line.state == modified:
+                                if smode == 0:
+                                    ok = True
+                                elif smode == 2:
+                                    if line.eid == sys_eid:
+                                        seq_delta += kw
+                                        ok = True
+                                else:
+                                    # (pend is provably empty in smode 1.)
+                                    channel.read_busy_until = rbu
+                                    channel.write_backlog = wbk
+                                    channel.backlog_updated_at = bua
+                                    ch_live = False
+                                    ok = (
+                                        sink_repeat(0, line, kw, ccycle)
+                                        is not None
+                                    )
+                                    rbu = channel.read_busy_until
+                                    wbk = channel.write_backlog
+                                    bua = channel.backlog_updated_at
+                                    ch_live = True
+                            if not ok:
+                                continue
+                            last_token = ntok + kw - 1
+                            line.token = last_token
+                            d_stores += kw
+                            d_l1_hits += k
+                            d_loads += k - kw
+                            ntok += kw
+                            if track:
+                                arch_image[addr] = last_token
+                            wait = k * l1_latency
+                        else:
+                            d_l1_hits += k
+                            d_loads += k
+                            wait = k * l1_latency
+                        ccycle += (cum[run_end - 1] - cum[i - 1]) - k + wait
+                        mstall += wait
+                        i = run_end
+                return i
+            finally:
+                if pend:
+                    buffer._entries.extend(pend)
+                    created.value += len(pend)
+                if ch_live:
+                    channel.read_busy_until = rbu
+                    channel.write_backlog = wbk
+                    channel.backlog_updated_at = bua
+                core.cycle = ccycle
+                core.mem_stall_cycles = mstall
+                system._next_token = ntok
+                if seq_delta:
+                    scheme._store_seq += seq_delta
+                if d_l1_hits:
+                    s_l1_hits.value += d_l1_hits
+                if d_loads:
+                    s_loads.value += d_loads
+                if d_stores:
+                    s_stores.value += d_stores
+                if d_l1_miss:
+                    s_l1_miss.value += d_l1_miss
+                if d_l2_hits:
+                    s_l2_hits.value += d_l2_hits
+                if d_l2_miss:
+                    s_l2_miss.value += d_l2_miss
+                if d_llc_hits:
+                    s_llc_hits.value += d_llc_hits
+                if d_llc_miss:
+                    s_llc_miss.value += d_llc_miss
+                if d_llc_dirty:
+                    s_llc_dirty.value += d_llc_dirty
+                if d_llc_clean:
+                    s_llc_clean.value += d_llc_clean
+                if d_l1_ev:
+                    s_l1_ev.value += d_l1_ev
+                if d_l2_ev:
+                    s_l2_ev.value += d_l2_ev
+                if d_llc_ev:
+                    s_llc_ev.value += d_llc_ev
+                if d_fills:
+                    s_fills.value += d_fills
+                if d_wbs:
+                    s_wbs.value += d_wbs
+                if d_iops_dr:
+                    s_iops_dr.value += d_iops_dr
+                if d_iops_wb:
+                    s_iops_wb.value += d_iops_wb
+                if d_bytes_r:
+                    s_bytes_r.value += d_bytes_r
+                if d_bytes_w:
+                    s_bytes_w.value += d_bytes_w
+                if d_cross:
+                    s_cross.value += d_cross
+
+        return drain

@@ -191,6 +191,22 @@ class PiclScheme(CrashConsistencyScheme):
     def on_store_bulk(self, count):
         self._store_seq += count
 
+    def miss_engine_profile(self):
+        """PiCL opts the miss-chain engine into its inline fast paths.
+
+        ``picl_plain`` asserts the exact preconditions of the cheap
+        :meth:`on_store` branch the engine transcribes (no hard log cap,
+        64 B tracking): under it, a residual store's full branch is an
+        UndoEntry append + ``apply_store`` retags + the undo-forwarding
+        inclusion check — all inlinable with deferred bloom/buffer
+        batching. ``write_back`` stays flagged as overridden so the
+        engine uses its dedicated PiCL transcription (bloom hazard +
+        ``pre_inplace`` fault notify) rather than the base one.
+        """
+        prof = super().miss_engine_profile()
+        prof["picl_plain"] = self._plain_stores
+        return prof
+
     def _relieve_log_pressure(self, now):
         """Force a persist when a hard-capped log is nearly full.
 

@@ -13,7 +13,7 @@ import time
 
 from repro.service import protocol
 from repro.service.server import default_socket_path
-from repro.sim.parallel import PointExecutionError
+from repro.sim.parallel import PointExecutionError, engine_env
 
 
 class ServiceUnavailableError(ConnectionError):
@@ -100,27 +100,45 @@ class ServiceClient:
     # batches
     # ------------------------------------------------------------------
 
-    def submit_points(self, points, batch_id=None, on_event=None):
+    def submit_points(self, points, batch_id=None, on_event=None, env=None):
         """Run ``points`` on the farm; returns results in input order.
 
         Streams partial results (``on_event`` sees every raw ``point`` /
         ``point_error`` message as it arrives). Raises
         :class:`PointExecutionError` if any point terminally failed,
         after the stream completes.
+
+        ``env`` overrides the engine-flag capture shipped with the batch;
+        by default the *client's* live environment is captured
+        (:func:`repro.sim.parallel.engine_env`), so ``REPRO_VECTOR`` /
+        ``REPRO_BATCH_MISS`` / ``REPRO_BRUTE_SCAN`` pinned at the client
+        govern the daemon's workers for exactly this batch.
         """
         points = list(points)
         batch_id = batch_id or os.urandom(8).hex()
-        self._send(protocol.submit_points(batch_id, points))
+        if env is None:
+            env = engine_env()
+        self._send(protocol.submit_points(batch_id, points, env=env))
         return self._collect(len(points), on_event)
 
     def submit_figure(
-        self, figure, preset=None, benchmarks=None, epochs=None, on_event=None
+        self,
+        figure,
+        preset=None,
+        benchmarks=None,
+        epochs=None,
+        on_event=None,
+        env=None,
     ):
         """Have the *server* decompose a registered figure and run it.
 
         Returns ``{key_tuple: result}`` keyed exactly as the figure's
-        ``points()`` builder keys its grid.
+        ``points()`` builder keys its grid. ``env`` follows
+        :meth:`submit_points` semantics (default: capture the client's
+        engine flags).
         """
+        if env is None:
+            env = engine_env()
         self._send(
             protocol.submit_figure(
                 os.urandom(8).hex(),
@@ -128,6 +146,7 @@ class ServiceClient:
                 preset=preset,
                 benchmarks=benchmarks,
                 epochs=epochs,
+                env=env,
             )
         )
         accepted = self._recv()

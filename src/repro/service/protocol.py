@@ -50,17 +50,26 @@ def loads(line):
     return message
 
 
-def submit_points(batch_id, points):
-    """A submit request carrying explicit, client-built RunPoints."""
+def submit_points(batch_id, points, env=None):
+    """A submit request carrying explicit, client-built RunPoints.
+
+    ``env`` is the client's engine-flag capture
+    (:func:`repro.sim.parallel.engine_env`): a plain string dict the
+    server pins into the worker processes that run this batch. ``None``
+    means the client expressed no preference (daemon environment wins).
+    """
     return {
         "op": "submit",
         "protocol": PROTOCOL_VERSION,
         "batch": batch_id,
         "points": [encode_payload(point) for point in points],
+        "env": env,
     }
 
 
-def submit_figure(batch_id, figure, preset=None, benchmarks=None, epochs=None):
+def submit_figure(
+    batch_id, figure, preset=None, benchmarks=None, epochs=None, env=None
+):
     """A submit request the server decomposes via the figure registry."""
     return {
         "op": "submit",
@@ -70,4 +79,5 @@ def submit_figure(batch_id, figure, preset=None, benchmarks=None, epochs=None):
         "preset": preset,
         "benchmarks": list(benchmarks) if benchmarks is not None else None,
         "epochs": epochs,
+        "env": env,
     }

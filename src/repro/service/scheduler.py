@@ -45,12 +45,15 @@ from repro.sim.parallel import (
 class _Unit:
     """One dispatchable same-trace batch owned by one client."""
 
-    __slots__ = ("client", "batch_id", "entries")
+    __slots__ = ("client", "batch_id", "entries", "env")
 
-    def __init__(self, client, batch_id, entries):
+    def __init__(self, client, batch_id, entries, env=None):
         self.client = client
         self.batch_id = batch_id
         self.entries = entries  # [(digest, point, future), ...]
+        #: The client's engine-flag capture (see ENGINE_FLAGS), pinned in
+        #: the worker child that runs this unit; None = inherit.
+        self.env = env
 
 
 def _silence(future):
@@ -136,13 +139,19 @@ class Scheduler:
     # submission (event-loop side)
     # ------------------------------------------------------------------
 
-    def submit(self, client, points, batch_id=None):
+    def submit(self, client, points, batch_id=None, env=None):
         """Resolve-or-enqueue every point for ``client``.
 
         Returns ``[(future, source), ...]`` in input order; ``source`` is
         how the point was answered: ``journal`` / ``cache`` (already
         done), ``joined`` (another client's in-flight execution), or
         ``queued`` (novel work enqueued now).
+
+        ``env`` is the client's engine-flag capture
+        (:data:`repro.sim.parallel.ENGINE_FLAGS`); fresh units execute
+        under it. A ``joined`` point runs under whichever env first
+        enqueued its digest — safe because every engine mode is
+        bit-identical, so the shared result is the same either way.
         """
         if self._closed:
             raise RuntimeError("scheduler is closed")
@@ -192,7 +201,12 @@ class Scheduler:
             fresh_points = [point for _digest, point, _future in fresh]
             for indices in trace_batches(fresh_points, range(len(fresh))):
                 queue.append(
-                    _Unit(client, batch_id, [fresh[i] for i in indices])
+                    _Unit(
+                        client,
+                        batch_id,
+                        [fresh[i] for i in indices],
+                        env=env,
+                    )
                 )
             if self._wakeup is not None:  # submits before start() just queue
                 self._wakeup.set()
@@ -268,6 +282,7 @@ class Scheduler:
             backoff=self.backoff,
             on_retry=on_retry,
             should_retry=lambda: not self._closed,
+            env=unit.env,
         )
 
     async def _run_unit(self, unit):

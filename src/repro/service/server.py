@@ -32,7 +32,12 @@ import tempfile
 from repro.service import protocol
 from repro.service.events import EventLog
 from repro.service.scheduler import Scheduler
-from repro.sim.parallel import DEFAULT_BACKOFF, ResultCache, SweepCheckpoint
+from repro.sim.parallel import (
+    DEFAULT_BACKOFF,
+    ENGINE_FLAGS,
+    ResultCache,
+    SweepCheckpoint,
+)
 
 DEFAULT_SPOOL_DIR = ".repro_service"
 
@@ -169,12 +174,22 @@ class SweepService:
     def _spool_path(self, batch_id):
         return os.path.join(self.batch_dir, "%s.pkl" % batch_id)
 
-    def _spool(self, batch_id, points):
-        """Persist an accepted batch atomically before scheduling it."""
+    def _spool(self, batch_id, points, env=None):
+        """Persist an accepted batch atomically before scheduling it.
+
+        The spool record is a dict carrying the point list plus the
+        client's engine-flag capture, so a restart re-runs the batch
+        under the same engine selection the client asked for. (Older
+        spools pickled a bare point list; recovery still reads those.)
+        """
         fd, tmp_path = tempfile.mkstemp(dir=self.batch_dir, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(list(points), handle, pickle.HIGHEST_PROTOCOL)
+                pickle.dump(
+                    {"points": list(points), "env": env},
+                    handle,
+                    pickle.HIGHEST_PROTOCOL,
+                )
             os.replace(tmp_path, self._spool_path(batch_id))
         except BaseException:
             try:
@@ -197,15 +212,22 @@ class SweepService:
             batch_id = name[: -len(".pkl")]
             try:
                 with open(os.path.join(self.batch_dir, name), "rb") as handle:
-                    points = pickle.load(handle)
+                    record = pickle.load(handle)
             except Exception as exc:
                 self.events.append(
                     "spool_corrupt", batch=batch_id, error=str(exc)
                 )
                 self._unspool(batch_id)
                 continue
+            if isinstance(record, dict):
+                points = record["points"]
+                env = record.get("env")
+            else:
+                # Pre-env spool format: a bare point list.
+                points = record
+                env = None
             entries = self.scheduler.submit(
-                RECOVERY_CLIENT, points, batch_id=batch_id
+                RECOVERY_CLIENT, points, batch_id=batch_id, env=env
             )
             self.events.append(
                 "batch_recovered", batch=batch_id, n_points=len(points)
@@ -289,6 +311,22 @@ class SweepService:
 
     async def _handle_submit(self, message, writer, client):
         batch_id = message.get("batch") or os.urandom(8).hex()
+        env = message.get("env")
+        if env is not None:
+            if not isinstance(env, dict):
+                await self._send(
+                    writer,
+                    {"event": "error", "error": "env must be an object"},
+                )
+                return
+            # Sanitize: only the known engine flags may travel into
+            # worker environments — a submit is not a general env
+            # injection channel.
+            env = {
+                name: str(value)
+                for name, value in env.items()
+                if name in ENGINE_FLAGS
+            }
         keys = None
         if message.get("points") is not None:
             try:
@@ -325,8 +363,10 @@ class SweepService:
                 {"event": "error", "error": "submit needs points or figure"},
             )
             return
-        self._spool(batch_id, points)
-        entries = self.scheduler.submit(client, points, batch_id=batch_id)
+        self._spool(batch_id, points, env=env)
+        entries = self.scheduler.submit(
+            client, points, batch_id=batch_id, env=env
+        )
         self._settle_in_background(batch_id, entries)
         self.events.append(
             "batch_accepted",

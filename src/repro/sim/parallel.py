@@ -85,6 +85,55 @@ MAX_BACKOFF = 30.0
 #: disables deadlines everywhere, safety net included.
 ISOLATED_FALLBACK_TIMEOUT = 3600.0
 
+#: Engine escape hatches. These select *how* a point executes — columnar
+#: interpreter, batched miss-chain engine, EID-indexed scan — never what
+#: it computes: every mode is bit-identical by construction (the
+#: differential suites in tests/sim enforce it). They are read from the
+#: process environment when a Simulation builds its hierarchy, so a
+#: worker process must see the *submitting* client's values, not
+#: whatever environment the executing daemon happened to start with —
+#: otherwise pinning ``REPRO_BATCH_MISS=0`` to bisect a suspected engine
+#: bug would silently stop meaning anything the moment the sweep runs on
+#: the service.
+ENGINE_FLAGS = (
+    "REPRO_VECTOR",
+    "REPRO_BATCH_MISS",
+    "REPRO_BRUTE_SCAN",
+    "REPRO_MISS_PROFILE",
+)
+
+
+def engine_env(environ=None):
+    """The engine-flag bindings present in ``environ`` (default: live env).
+
+    Returns ``{name: value}`` holding only the flags actually set, so the
+    dict is a complete description of the caller's engine selection:
+    a missing key means "that flag was unset", and :func:`apply_engine_env`
+    restores exactly that.
+    """
+    if environ is None:
+        environ = os.environ
+    return {name: environ[name] for name in ENGINE_FLAGS if name in environ}
+
+
+def apply_engine_env(env):
+    """Pin a captured engine-flag dict into this process's environment.
+
+    Child-process side of the handoff. ``None`` means "no capture
+    travelled with this work" (legacy spool entries, direct callers) and
+    leaves the inherited environment alone. A dict — even an empty one —
+    is authoritative for *every* flag in :data:`ENGINE_FLAGS`: flags it
+    omits are removed, so a daemon started with an engine disabled cannot
+    leak that into a client batch that never asked for it.
+    """
+    if env is None:
+        return
+    for name in ENGINE_FLAGS:
+        if name in env:
+            os.environ[name] = env[name]
+        else:
+            os.environ.pop(name, None)
+
 
 @dataclasses.dataclass(frozen=True)
 class RunPoint:
@@ -506,9 +555,15 @@ class SweepCheckpoint:
 # ----------------------------------------------------------------------
 
 
-def _isolated_main(conn, batch):
-    """Child entry point: run a batch, ship back the results or the error."""
+def _isolated_main(conn, batch, env=None):
+    """Child entry point: run a batch, ship back the results or the error.
+
+    ``env`` is the submitting client's engine-flag capture (see
+    :data:`ENGINE_FLAGS`); it is pinned before the first simulation is
+    built so the batch runs under the client's engine selection.
+    """
     try:
+        apply_engine_env(env)
         results = _execute_batch(batch)
     except PointExecutionError as exc:
         conn.send(("error", exc))
@@ -547,16 +602,18 @@ def kill_isolated_processes():
             pass
 
 
-def _run_batch_isolated(batch, budget):
+def _run_batch_isolated(batch, budget, env=None):
     """Run one batch in its own process; kill it past ``budget`` seconds.
 
     ``budget`` is the whole-batch deadline (``None`` = wait forever).
     Unlike a pool task, an isolated batch can be killed precisely and its
-    death attributed to exactly these points.
+    death attributed to exactly these points. ``env`` travels to the
+    child as an argument (not via the parent's environment) so daemons
+    can run concurrent batches under different engine selections.
     """
     parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
     proc = multiprocessing.Process(
-        target=_isolated_main, args=(child_conn, batch), daemon=True
+        target=_isolated_main, args=(child_conn, batch, env), daemon=True
     )
     with _SPAWN_LOCK:
         proc.start()
@@ -600,6 +657,7 @@ def execute_batch_with_retry(
     backoff=DEFAULT_BACKOFF,
     on_retry=None,
     should_retry=None,
+    env=None,
 ):
     """Isolated execution with bounded retry for *transient* failures.
 
@@ -613,7 +671,8 @@ def execute_batch_with_retry(
     ``on_retry(attempt, delay, exc)`` is called before each sleep (the
     sweep service logs these as events); ``should_retry()`` returning
     False aborts the loop — used at daemon shutdown so deliberately
-    killed children aren't relaunched.
+    killed children aren't relaunched. ``env`` is an engine-flag capture
+    (:func:`engine_env`) pinned inside every child attempt.
     """
     if retries is None:
         retries = int(os.environ.get("REPRO_RETRIES", DEFAULT_RETRIES))
@@ -623,7 +682,7 @@ def execute_batch_with_retry(
     while True:
         attempt += 1
         try:
-            return _run_batch_isolated(batch, budget)
+            return _run_batch_isolated(batch, budget, env=env)
         except (WorkerCrashError, PointTimeoutError) as exc:
             if attempt > retries:
                 raise

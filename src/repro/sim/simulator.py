@@ -28,6 +28,7 @@ import numpy as np
 from repro.baselines import Frm, IdealNvm, Journaling, ShadowPaging, ThyNvm
 from repro.cache.hierarchy import CacheHierarchy
 from repro.cache.line import LineState
+from repro.cache.miss_engine import build_engine as build_miss_engine
 from repro.common.errors import ConfigurationError
 from repro.common.stats import StatCounters
 from repro.core.picl import PiclScheme
@@ -457,6 +458,12 @@ class Simulation:
         burst_len = _DISENGAGE_REFS
         productive = False
         dbg = getattr(self, "_vec_debug", None)
+        # Batched miss-chain engine (repro.cache.miss_engine): residual
+        # spans drain through one fused loop instead of the per-miss call
+        # chain. None when ineligible (REPRO_BATCH_MISS=0, multi-channel
+        # NVM, DRAM cache, foreign sink) — every call site below then
+        # falls back to scalar_span, byte-identically.
+        engine = build_miss_engine(self)
 
         for chunk in self.traces[0].chunks():
             chunk.ensure_metadata()
@@ -683,6 +690,9 @@ class Simulation:
                     stores.bump(nw)
                     scheme.on_store_bulk(nw)
 
+            if engine is not None:
+                drain = engine.make_drain(gaps, addrs, writes, cum, run_ends, wcum)
+
             index = 0
             while index < n:
                 limit = next_epoch - base
@@ -702,24 +712,34 @@ class Simulation:
                         stop = i + scalar_budget
                         if stop > seg_end:
                             stop = seg_end
-                        # Detach the mirror for the burst: the hot cache
-                        # paths then pay zero queue-append tax (byte-
-                        # identical to REPRO_VECTOR=0), and the next sync
-                        # rebuilds from the live tags instead of replaying
-                        # what the burst changed.
-                        l1._vec = None
-                        try:
-                            ni = scalar_span(i, stop, seg_end)
-                        finally:
-                            l1._vec = vec
-                            vec.stale = True
+                        if engine is not None:
+                            # The drain maintains the mirror queues at its
+                            # inlined fill/evict sites for free, so bursts
+                            # keep the mirror attached — no stale rebuild
+                            # at the next sync.
+                            ni = drain(i, stop, seg_end, sfilter)
+                        else:
+                            # Detach the mirror for the burst: the hot
+                            # cache paths then pay zero queue-append tax
+                            # (byte-identical to REPRO_VECTOR=0), and the
+                            # next sync rebuilds from the live tags
+                            # instead of replaying what the burst changed.
+                            l1._vec = None
+                            try:
+                                ni = scalar_span(i, stop, seg_end)
+                            finally:
+                                l1._vec = vec
+                                vec.stale = True
                         scalar_budget -= ni - i
                         if dbg is not None:
                             dbg["burst_refs"] += ni - i
                         i = ni
                         continue
                     if seg_end - i < bulk_min:
-                        i = scalar_span(i, seg_end, seg_end)
+                        if engine is not None:
+                            i = drain(i, seg_end, seg_end, sfilter)
+                        else:
+                            i = scalar_span(i, seg_end, seg_end)
                         break
                     # -- classify the next window against the mirror,
                     #    reconciled here (and only here) with the live tags
@@ -744,64 +764,81 @@ class Simulation:
                         )
                     bad = (np.flatnonzero(~fast) + wb).tolist()
                     n_bad = len(bad)
-                    # Fast positions (absolute) and their addresses, for
-                    # the stale-positive guard below: only a victim that
-                    # the *remaining fast* part of the window references
-                    # can invalidate the classification — residual
-                    # positions replay exactly regardless.
-                    fpos = np.flatnonzero(fast) + wb
-                    fast_addrs = a_win[fast]
-                    removed.clear()
-                    # -- walk the window: bulk fast stretches, replay
-                    #    residuals, revalidate after each residual
-                    bptr = 0
-                    bulked_runs = 0
-                    while i < we:
-                        while bptr < n_bad and bad[bptr] < i:
-                            bptr += 1
-                        nxt = bad[bptr] if bptr < n_bad else we
-                        if nxt - i >= bulk_min:
-                            # Size the stretch in coalescing groups, not
-                            # references: the scalar loop replays a
-                            # same-line run in O(1), so a long but
-                            # run-sparse stretch is cheaper replayed.
-                            nruns = rcum[nxt - 1] - (rcum[i - 1] if i else 0)
-                            if nruns >= bulk_min:
-                                bulk_span(i, nxt, nruns)
-                                bulked_runs += nruns
-                                i = nxt
-                                if i >= we:
-                                    break
-                        stop = nxt + 1
-                        if stop > seg_end:
-                            stop = seg_end
-                        i = scalar_span(i, stop, seg_end)
-                        if removed:
-                            # Stale-positive guard: a classified-fast
-                            # position whose line was just evicted is no
-                            # longer safe to bulk — demote it to residual
-                            # by splicing it into the bad list (demotion is
-                            # always safe: residuals replay exactly).
-                            # Re-adds need no check — a classified miss
-                            # replays exactly anyway.
-                            if i < we:
-                                j = int(np.searchsorted(fpos, i))
-                                if j < len(fpos):
-                                    tail = fast_addrs[j:]
-                                    stale = None
-                                    for victim in removed:
-                                        m = tail == victim
-                                        if m.any():
-                                            if stale is None:
-                                                stale = m
-                                            else:
-                                                stale |= m
-                                    if stale is not None:
-                                        extra = fpos[j:][stale].tolist()
-                                        bad = sorted(bad[bptr:] + extra)
-                                        n_bad = len(bad)
-                                        bptr = 0
-                            removed.clear()
+                    if engine is not None and n_bad * 4 >= we - wb:
+                        # Residual-dense window (≥25%): the walk's bulk
+                        # stretches cannot pay for themselves between
+                        # misses, so hand the whole window to the drain
+                        # (exact path, no stale-positive bookkeeping
+                        # needed). Counted as unproductive below, which
+                        # steers persistently miss-heavy phases into
+                        # drain bursts with zero classification cost.
+                        i = drain(wb, we, seg_end, sfilter)
+                        removed.clear()
+                        bulked_runs = 0
+                    else:
+                        # Fast positions (absolute) and their addresses,
+                        # for the stale-positive guard below: only a
+                        # victim that the *remaining fast* part of the
+                        # window references can invalidate the
+                        # classification — residual positions replay
+                        # exactly regardless.
+                        fpos = np.flatnonzero(fast) + wb
+                        fast_addrs = a_win[fast]
+                        removed.clear()
+                        # -- walk the window: bulk fast stretches, replay
+                        #    residuals, revalidate after each residual
+                        bptr = 0
+                        bulked_runs = 0
+                        while i < we:
+                            while bptr < n_bad and bad[bptr] < i:
+                                bptr += 1
+                            nxt = bad[bptr] if bptr < n_bad else we
+                            if nxt - i >= bulk_min:
+                                # Size the stretch in coalescing groups,
+                                # not references: the scalar loop replays
+                                # a same-line run in O(1), so a long but
+                                # run-sparse stretch is cheaper replayed.
+                                nruns = rcum[nxt - 1] - (rcum[i - 1] if i else 0)
+                                if nruns >= bulk_min:
+                                    bulk_span(i, nxt, nruns)
+                                    bulked_runs += nruns
+                                    i = nxt
+                                    if i >= we:
+                                        break
+                            stop = nxt + 1
+                            if stop > seg_end:
+                                stop = seg_end
+                            if engine is not None:
+                                i = drain(i, stop, seg_end, sfilter)
+                            else:
+                                i = scalar_span(i, stop, seg_end)
+                            if removed:
+                                # Stale-positive guard: a classified-fast
+                                # position whose line was just evicted is
+                                # no longer safe to bulk — demote it to
+                                # residual by splicing it into the bad
+                                # list (demotion is always safe:
+                                # residuals replay exactly). Re-adds need
+                                # no check — a classified miss replays
+                                # exactly anyway.
+                                if i < we:
+                                    j = int(np.searchsorted(fpos, i))
+                                    if j < len(fpos):
+                                        tail = fast_addrs[j:]
+                                        stale = None
+                                        for victim in removed:
+                                            m = tail == victim
+                                            if m.any():
+                                                if stale is None:
+                                                    stale = m
+                                                else:
+                                                    stale |= m
+                                        if stale is not None:
+                                            extra = fpos[j:][stale].tolist()
+                                            bad = sorted(bad[bptr:] + extra)
+                                            n_bad = len(bad)
+                                            bptr = 0
+                                removed.clear()
                     # -- self-tuning: how much of the window's coalescing
                     #    work was actually bulk-applied?
                     creached = rcum[i - 1] - (rcum[wb - 1] if wb else 0)
