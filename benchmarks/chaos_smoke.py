@@ -1,0 +1,309 @@
+"""CI smoke for the remote-worker fleet: chaos vs. bit-identity.
+
+One gating script, three phases:
+
+1. **Serial reference** — ``repro fig09 --preset ci`` with the cache
+   off: the ground truth every distributed configuration must reproduce
+   byte-for-byte.
+2. **Zero-worker degradation** — a fresh daemon with *no* registered
+   workers serves the figure purely from its local thread-pool path;
+   output must be byte-identical to serial (the graceful-degradation
+   guarantee).
+3. **3-worker fleet under seeded chaos** — a fresh daemon plus three
+   ``repro worker`` processes, each dealt a deterministic fault schedule
+   (:class:`repro.fault.chaos.ChaosPlan.seeded`):
+
+   * worker-1: SIGKILLs itself mid-unit (a supervisor restarts it clean);
+   * worker-2: freezes heartbeats past the (shortened) lease, then a
+     late frame, plus a dropped/truncated result frame;
+   * worker-3: garbles a result frame, then partitions just before a
+     delivery and pushes the result under its dead identity.
+
+   The figure must still print byte-identical to serial, and the durable
+   event log must show **exactly one accepted execution per point
+   digest** plus positive evidence that each chaos path actually ran
+   (worker_lost, worker_expired, protocol_error, requeue).
+
+Run from the repository root:
+
+    PYTHONPATH=src python benchmarks/chaos_smoke.py [seed]
+"""
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.fault.chaos import ChaosPlan  # noqa: E402
+from repro.service.client import ServiceClient, wait_until_ready  # noqa: E402
+from repro.service.events import (  # noqa: E402
+    executions_per_digest,
+    read_events,
+)
+
+FIGURE_ARGS = ["fig09", "--preset", "ci"]
+
+#: Shortened lease so freeze-driven expiry lands while the sweep is
+#: still running (default 15 s would usually outlive a ci figure).
+CHAOS_LEASE = "2.0"
+
+
+def log(message):
+    print("chaos_smoke: %s" % message, flush=True)
+
+
+def fail(message):
+    print("chaos_smoke: FAIL: %s" % message, file=sys.stderr, flush=True)
+    sys.exit(1)
+
+
+def run_cli(args, env, timeout=900):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro"] + args,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        timeout=timeout,
+    )
+    if proc.returncode != 0:
+        fail(
+            "repro %s exited %d\n%s"
+            % (" ".join(args), proc.returncode, proc.stderr.decode())
+        )
+    return proc.stdout
+
+
+class WorkerSupervisor:
+    """Run one ``repro worker`` subprocess; restart it clean if killed.
+
+    The restart models an operator (or systemd) bringing a crashed host
+    back: the replacement runs with *no* chaos so the fleet converges.
+    """
+
+    def __init__(self, name, sock, env, chaos_spec):
+        self.name = name
+        self.sock = sock
+        self.env = dict(env)
+        if chaos_spec:
+            self.env["REPRO_CHAOS"] = chaos_spec
+        self.proc = None
+        self.restarts = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._supervise, daemon=True)
+
+    def _spawn(self, chaos):
+        env = dict(self.env)
+        if not chaos:
+            env.pop("REPRO_CHAOS", None)
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "worker",
+                "--socket", self.sock, "--name", self.name,
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+
+    def start(self):
+        self.proc = self._spawn(chaos=True)
+        self._thread.start()
+        return self
+
+    def _supervise(self):
+        while not self._stop.is_set():
+            proc = self.proc
+            if proc is not None and proc.poll() is not None:
+                if self._stop.is_set():
+                    return
+                self.restarts += 1
+                log(
+                    "worker %s exited %s; restarting clean (restart #%d)"
+                    % (self.name, proc.returncode, self.restarts)
+                )
+                self.proc = self._spawn(chaos=False)
+            time.sleep(0.1)
+
+    def stop(self):
+        self._stop.set()
+        proc = self.proc
+        if proc is not None and proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+def assert_exactly_once(events_path, label):
+    counts = executions_per_digest(read_events(events_path))
+    if not counts:
+        fail("%s: event log records no completed executions" % label)
+    duplicated = {d: c for d, c in counts.items() if c != 1}
+    if duplicated:
+        fail(
+            "%s: digests not executed exactly once: %r" % (label, duplicated)
+        )
+    return counts
+
+
+def main():
+    seed = sys.argv[1] if len(sys.argv) > 1 else "picl-chaos-1"
+    home = tempfile.mkdtemp(prefix="rchaos-", dir="/tmp")
+
+    base_env = dict(os.environ)
+    base_env.setdefault("PYTHONPATH", "src")
+
+    serial_env = dict(base_env)
+    serial_env["REPRO_NO_CACHE"] = "1"
+
+    daemon = None
+    supervisors = []
+    sock = None
+
+    def start_daemon(tag, jobs=2, lease=None):
+        spool = os.path.join(home, "spool-%s" % tag)
+        sock = os.path.join(home, "%s.sock" % tag)
+        env = dict(base_env)
+        env["REPRO_NO_CACHE"] = ""
+        env["REPRO_CACHE_DIR"] = os.path.join(home, "cache-%s" % tag)
+        if lease is not None:
+            env["REPRO_LEASE"] = lease
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--spool", spool, "--socket", sock, "--jobs", str(jobs),
+            ],
+            env=env,
+        )
+        wait_until_ready(socket_path=sock, timeout=60)
+        return proc, sock, env, os.path.join(spool, "events.jsonl")
+
+    def stop_daemon(proc, sock):
+        if proc is not None and proc.poll() is None:
+            try:
+                with ServiceClient(socket_path=sock) as client:
+                    client.shutdown()
+                proc.wait(timeout=30)
+            except Exception:
+                proc.kill()
+                proc.wait()
+
+    try:
+        # Phase 1: the serial ground truth.
+        log("phase 1: serial reference (repro %s)" % " ".join(FIGURE_ARGS))
+        serial = run_cli(FIGURE_ARGS + ["--jobs", "2"], serial_env)
+
+        # Phase 2: zero workers — the daemon must degrade to the local
+        # pool bit-identically.
+        log("phase 2: zero-worker daemon (local-pool degradation)")
+        daemon, sock, env, events_path = start_daemon("local")
+        output = run_cli(["submit"] + FIGURE_ARGS + ["--socket", sock], env)
+        if output != serial:
+            fail("zero-worker daemon output differs from the serial run")
+        counts = assert_exactly_once(events_path, "zero-worker")
+        records = read_events(events_path)
+        if any(r["event"] == "assign" for r in records):
+            fail("zero-worker daemon somehow assigned to a fleet")
+        log(
+            "zero-worker daemon byte-identical to serial "
+            "(%d digests, local pool only)" % len(counts)
+        )
+        stop_daemon(daemon, sock)
+        daemon = None
+
+        # Phase 3: a 3-worker fleet under seeded chaos.
+        log("phase 3: 3-worker fleet under chaos (seed %r)" % seed)
+        daemon, sock, env, events_path = start_daemon(
+            "fleet", jobs=2, lease=CHAOS_LEASE
+        )
+        worker_env = dict(env)
+        worker_env["REPRO_LEASE"] = CHAOS_LEASE
+        # Deal each worker a deterministic schedule from the seed; the
+        # occurrences are low so every fault lands inside a ci sweep.
+        plans = {
+            "chaos-w1": ChaosPlan.seeded(seed + "|w1", ["kill"], hi=3),
+            "chaos-w2": ChaosPlan.seeded(seed + "|w2", ["freeze", "drop"], hi=3),
+            "chaos-w3": ChaosPlan.seeded(
+                seed + "|w3", ["garble", "partition"], hi=3
+            ),
+        }
+        for name, plan in sorted(plans.items()):
+            log("  %s: %s" % (name, plan.describe()))
+            supervisors.append(
+                WorkerSupervisor(name, sock, worker_env, plan.to_spec()).start()
+            )
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            with ServiceClient(socket_path=sock) as client:
+                live = client.status()["workers"]["live"]
+            if live >= 3:
+                break
+            time.sleep(0.1)
+        else:
+            fail("fleet never reached 3 live workers")
+        log("  3 workers registered; submitting under chaos")
+
+        output = run_cli(
+            ["submit"] + FIGURE_ARGS + ["--socket", sock], env, timeout=1200
+        )
+        if output != serial:
+            fail("chaos-fleet output differs from the serial run")
+        counts = assert_exactly_once(events_path, "chaos-fleet")
+        log(
+            "chaos fleet byte-identical to serial; %d digests each "
+            "accepted exactly once" % len(counts)
+        )
+
+        # Positive evidence every chaos path actually executed.
+        records = read_events(events_path)
+        event_counts = {}
+        for record in records:
+            event_counts[record["event"]] = (
+                event_counts.get(record["event"], 0) + 1
+            )
+        if not event_counts.get("assign"):
+            fail("fleet never received an assignment")
+        evidence = {
+            # kill (connection died) / garble / drop (framing broken).
+            "worker_lost": "a worker connection was never lost",
+            # freeze: the lease lapsed while the connection stayed up.
+            "worker_expired": "no lease ever expired (freeze did not land)",
+            # garble/drop: the daemon saw a corrupt frame.
+            "protocol_error": "no corrupt frame ever reached the daemon",
+            # every failure path funnels into requeue.
+            "requeue": "no unit was ever requeued",
+        }
+        for event, message in sorted(evidence.items()):
+            if not event_counts.get(event):
+                fail("chaos evidence missing: %s" % message)
+        killed = [s for s in supervisors if s.restarts]
+        if not killed:
+            fail("chaos kill never fired (no worker was restarted)")
+        log(
+            "chaos evidence: %s; %d worker restart(s)"
+            % (
+                ", ".join(
+                    "%s=%d" % (event, event_counts[event])
+                    for event in sorted(evidence)
+                ),
+                sum(s.restarts for s in killed),
+            )
+        )
+        stale = event_counts.get("stale_result", 0)
+        if stale:
+            log("zombie deliveries discarded: %d" % stale)
+        log("OK")
+        return 0
+    finally:
+        for supervisor in supervisors:
+            supervisor.stop()
+        if daemon is not None:
+            stop_daemon(daemon, sock)
+        shutil.rmtree(home, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

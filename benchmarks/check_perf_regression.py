@@ -35,7 +35,11 @@ Usage (from the repo root)::
 
 import argparse
 import os
+import shutil
+import subprocess
 import sys
+import tempfile
+import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 sys.path.insert(0, os.path.dirname(__file__))
@@ -102,6 +106,15 @@ def main(argv=None):
         "--skip-misschain", action="store_true",
         help="skip the REPRO_BATCH_MISS matrix",
     )
+    parser.add_argument(
+        "--skip-distributed", action="store_true",
+        help="skip the distributed-vs-local fig09 wall-clock check",
+    )
+    parser.add_argument(
+        "--distributed-threshold", type=float, default=1.2,
+        help="warn when the distributed fig09 wall-clock exceeds this "
+        "multiple of the local-pool run (default 1.2)",
+    )
     args = parser.parse_args(argv)
 
     # Time real simulation work, not result-cache reads.
@@ -158,6 +171,8 @@ def main(argv=None):
         regressions += check_columnar(args)
     if not args.skip_misschain:
         regressions += check_misschain(args)
+    if not args.skip_distributed:
+        regressions += check_distributed(args)
 
     if regressions:
         warn(
@@ -318,6 +333,124 @@ def check_misschain(args):
     )
     print("wrote %s" % args.misschain_output)
     return regressions
+
+
+def check_distributed(args):
+    """Time a fleet-served ci fig09 against the local-pool path, warn-only.
+
+    The fleet must never make the common case slower: a 3-worker
+    distributed run of the ci-preset figure should land within
+    ``--distributed-threshold`` (default 1.2x) of the same daemon
+    configuration with zero workers, where every unit runs on the local
+    thread pool. Heartbeats, placement, and the extra serialize/ship hop
+    are the overhead under test; anything past the threshold on a quiet
+    machine means the fleet plumbing regressed. Warn-only for the same
+    reason as the throughput rows: CI wall-clocks are noisy.
+    """
+    from repro.service.client import ServiceClient, wait_until_ready
+
+    figure_args = ["fig09", "--preset", "ci"]
+    home = tempfile.mkdtemp(prefix="rdist-", dir="/tmp")
+    daemon = None
+    workers = []
+    sock = None
+
+    def start_daemon(tag):
+        spool = os.path.join(home, "spool-%s" % tag)
+        sock = os.path.join(home, "%s.sock" % tag)
+        env = dict(os.environ)
+        env.setdefault("PYTHONPATH", "src")
+        # Time real execution on both sides: no result cache, and a
+        # fresh spool so the second run's digests cannot join the first.
+        env["REPRO_NO_CACHE"] = "1"
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--spool", spool, "--socket", sock, "--jobs", "2",
+            ],
+            env=env,
+        )
+        wait_until_ready(socket_path=sock, timeout=60)
+        return proc, sock, env
+
+    def stop_daemon(proc, sock):
+        if proc is not None and proc.poll() is None:
+            try:
+                with ServiceClient(socket_path=sock) as client:
+                    client.shutdown()
+                proc.wait(timeout=30)
+            except Exception:
+                proc.kill()
+                proc.wait()
+
+    def timed_submit(sock, env):
+        start = time.monotonic()
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "submit"]
+            + figure_args
+            + ["--socket", sock],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            timeout=1200,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                "repro submit exited %d\n%s"
+                % (proc.returncode, proc.stderr.decode())
+            )
+        return time.monotonic() - start
+
+    try:
+        daemon, sock, env = start_daemon("local")
+        local = timed_submit(sock, env)
+        stop_daemon(daemon, sock)
+        daemon = None
+
+        daemon, sock, env = start_daemon("fleet")
+        for index in range(3):
+            workers.append(
+                subprocess.Popen(
+                    [
+                        sys.executable, "-m", "repro", "worker",
+                        "--socket", sock, "--name", "perf-w%d" % index,
+                    ],
+                    env=env,
+                    stdout=subprocess.DEVNULL,
+                    stderr=subprocess.DEVNULL,
+                )
+            )
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            with ServiceClient(socket_path=sock) as client:
+                if client.status()["workers"]["live"] >= 3:
+                    break
+            time.sleep(0.1)
+        else:
+            raise RuntimeError("fleet never reached 3 live workers")
+        distributed = timed_submit(sock, env)
+    finally:
+        for worker in workers:
+            if worker.poll() is None:
+                worker.kill()
+                worker.wait()
+        if daemon is not None:
+            stop_daemon(daemon, sock)
+        shutil.rmtree(home, ignore_errors=True)
+
+    ratio = distributed / local if local else float("inf")
+    print("%-14s %12s %12s %9s" % (
+        "fig09 ci", "local-pool s", "3-worker s", "ratio"))
+    print("%-14s %12.1f %12.1f %8.2fx" % ("wall-clock", local, distributed, ratio))
+    if ratio > args.distributed_threshold:
+        warn(
+            "distributed fig09 wall-clock %.1fs is %.2fx the local-pool "
+            "run (%.1fs); threshold %.2fx — fleet overhead regressed "
+            "(or a noisy runner)"
+            % (distributed, ratio, local, args.distributed_threshold)
+        )
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

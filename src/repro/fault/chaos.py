@@ -1,0 +1,197 @@
+"""Deterministic, seeded chaos injection for the remote-worker fleet.
+
+Where :mod:`repro.fault.plan` crashes the *simulator* at semantic sites,
+this module misbehaves the *fleet*: a :class:`ChaosPlan` rides into a
+worker process (``REPRO_CHAOS``) and fires faults at the worker's
+trigger sites, each exercising one failure path the scheduler claims to
+survive:
+
+``kill``
+    SIGKILL the worker moments after it starts a unit — the connection
+    drops mid-unit, the daemon requeues via ``worker_lost``.
+``freeze``
+    Suppress heartbeats long enough for the lease to lapse while the
+    process (and its TCP connection) stays alive — the daemon expires
+    the lease, requeues, and must *discard* the zombie's late delivery.
+``drop`` / ``garble``
+    Replace a unit's result frame with a truncated / byte-corrupted
+    line — the daemon's framing is now untrustworthy, so it must answer
+    with a protocol error, drop the worker, and requeue.
+``partition``
+    Sever the connection just before delivery, let the worker compute
+    and reconnect, then deliver under the *old* worker id — a stale
+    result the exactly-once accounting must reject.
+
+Same injection idiom as PR 3's :class:`~repro.fault.plan.CrashPlan`:
+every action names a trigger *site*, fires on the site's Nth visit
+(counting from 1), and is strictly single-use. Determinism comes from
+:meth:`ChaosPlan.seeded`, which derives each action's occurrence from
+``sha256(seed, kind)`` — the same seed always yields the same fault
+schedule, so a chaos run that fails is a chaos run you can replay.
+"""
+
+import hashlib
+
+#: Fault kinds and the worker trigger site each one fires at.
+CHAOS_SITES = {
+    "kill": "unit_start",
+    "freeze": "heartbeat",
+    "drop": "deliver",
+    "garble": "deliver",
+    "partition": "deliver",
+}
+
+#: Environment variable carrying a plan spec into worker processes.
+CHAOS_ENV = "REPRO_CHAOS"
+
+
+class ChaosAction:
+    """One single-use fault: ``kind`` fired at its site's Nth visit."""
+
+    __slots__ = ("kind", "occurrence", "fired")
+
+    def __init__(self, kind, occurrence):
+        if kind not in CHAOS_SITES:
+            raise ValueError(
+                "unknown chaos kind %r (one of %s)"
+                % (kind, ", ".join(sorted(CHAOS_SITES)))
+            )
+        occurrence = int(occurrence)
+        if occurrence < 1:
+            raise ValueError("occurrence counts from 1, got %d" % occurrence)
+        self.kind = kind
+        self.occurrence = occurrence
+        self.fired = False
+
+    @property
+    def site(self):
+        return CHAOS_SITES[self.kind]
+
+    def describe(self):
+        return "%s@%d%s" % (
+            self.kind,
+            self.occurrence,
+            " (fired)" if self.fired else "",
+        )
+
+
+class ChaosPlan:
+    """A schedule of single-use fleet faults, counted per trigger site.
+
+    ``trigger(site)`` is called by the worker at each visit of a site
+    and returns the (usually empty) list of fault kinds firing *now*.
+    Thread-compatibility note: the worker calls ``trigger`` from its
+    executor and heartbeat threads; counting is guarded by the caller
+    holding the GIL per call, and each action fires exactly once.
+    """
+
+    def __init__(self, actions=()):
+        self.actions = list(actions)
+        self._counts = {}
+
+    def __bool__(self):
+        return bool(self.actions)
+
+    def trigger(self, site):
+        """Count one visit of ``site``; returns kinds that fire on it."""
+        count = self._counts.get(site, 0) + 1
+        self._counts[site] = count
+        fired = []
+        for action in self.actions:
+            if (
+                not action.fired
+                and action.site == site
+                and action.occurrence == count
+            ):
+                action.fired = True
+                fired.append(action.kind)
+        return fired
+
+    def pending(self):
+        """Actions that have not fired yet."""
+        return [action for action in self.actions if not action.fired]
+
+    def describe(self):
+        if not self.actions:
+            return "no chaos"
+        return ", ".join(action.describe() for action in self.actions)
+
+    # ------------------------------------------------------------------
+    # construction & transport
+    # ------------------------------------------------------------------
+
+    def to_spec(self):
+        """The ``REPRO_CHAOS`` string round-tripping this plan."""
+        return ",".join(
+            "%s@%d" % (action.kind, action.occurrence)
+            for action in self.actions
+        )
+
+    @classmethod
+    def from_spec(cls, spec):
+        """Parse ``"kill@2,garble@1"``; empty/None means no chaos."""
+        actions = []
+        for part in (spec or "").split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "@" in part:
+                kind, _, occurrence = part.partition("@")
+            else:
+                kind, occurrence = part, 1
+            actions.append(ChaosAction(kind.strip(), occurrence))
+        return cls(actions)
+
+    @classmethod
+    def from_env(cls, environ=None):
+        import os
+
+        environ = os.environ if environ is None else environ
+        return cls.from_spec(environ.get(CHAOS_ENV))
+
+    @classmethod
+    def seeded(cls, seed, kinds, lo=1, hi=4):
+        """A deterministic plan: each kind's occurrence from the seed.
+
+        ``sha256(seed | kind)`` picks an occurrence in ``[lo, hi]`` —
+        stable across runs, processes, and platforms, so the chaos smoke
+        can log its seed and any failure is replayable bit-for-bit.
+        """
+        if hi < lo:
+            raise ValueError("need hi >= lo")
+        actions = []
+        for kind in kinds:
+            digest = hashlib.sha256(
+                ("%s|%s" % (seed, kind)).encode("utf-8")
+            ).digest()
+            occurrence = lo + int.from_bytes(digest[:4], "big") % (hi - lo + 1)
+            actions.append(ChaosAction(kind, occurrence))
+        return cls(actions)
+
+
+def garble_line(line):
+    """Deterministically corrupt one wire line (keeps the newline).
+
+    Flips bits in the middle of the frame so JSON parsing (or the
+    base64 payload inside it) fails server-side; the terminating
+    newline is preserved so the daemon reads exactly one bad frame
+    instead of fusing two.
+    """
+    if isinstance(line, str):
+        line = line.encode("utf-8")
+    body = line.rstrip(b"\n")
+    if not body:
+        return b"\xff\n"
+    middle = len(body) // 2
+    corrupted = bytearray(body)
+    for offset in range(min(8, len(body))):
+        corrupted[(middle + offset) % len(body)] ^= 0x55
+    return bytes(corrupted) + b"\n"
+
+
+def truncate_line(line):
+    """Drop the tail of a wire line (still newline-terminated)."""
+    if isinstance(line, str):
+        line = line.encode("utf-8")
+    body = line.rstrip(b"\n")
+    return body[: max(1, len(body) // 3)] + b"\n"

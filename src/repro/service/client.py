@@ -5,6 +5,15 @@ through this. It is deliberately plain blocking-socket code: a client
 submits, then sits in a read loop collecting streamed ``point`` events
 until ``done`` — reassembling completion-ordered arrivals back into
 input order by each event's ``index``.
+
+Reads carry a deadline (``REPRO_CLIENT_TIMEOUT``, default 300 s, ``0``
+disables) instead of blocking forever on a daemon that hung after
+``accepted``. When a streaming read times out the client does not give
+up: it reconnects and *re-submits the same batch id and points*, which
+is safe and cheap by construction — the scheduler answers every
+already-finished point from its journal and joins every in-flight one,
+so the resumed stream replays instantly up to where it died and no
+point is ever executed twice.
 """
 
 import os
@@ -14,6 +23,24 @@ import time
 from repro.service import protocol
 from repro.service.server import default_socket_path
 from repro.sim.parallel import PointExecutionError, engine_env
+
+#: Default streaming-read deadline in seconds (REPRO_CLIENT_TIMEOUT).
+DEFAULT_CLIENT_TIMEOUT = 300.0
+
+#: Reconnect-and-resume attempts per stream before giving up.
+RESUME_ATTEMPTS = 3
+
+
+def client_timeout():
+    """The configured read deadline, or None when disabled."""
+    raw = os.environ.get("REPRO_CLIENT_TIMEOUT")
+    if raw is None or not raw.strip():
+        return DEFAULT_CLIENT_TIMEOUT
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_CLIENT_TIMEOUT
+    return value if value > 0 else None
 
 
 class ServiceUnavailableError(ConnectionError):
@@ -25,31 +52,61 @@ class ServiceClient:
 
     ``tcp`` is a ``(host, port)`` pair; otherwise the unix socket at
     ``socket_path`` (default: the default spool's socket) is used.
-    Usable as a context manager.
+    ``read_timeout`` overrides ``REPRO_CLIENT_TIMEOUT`` (``0`` disables
+    the deadline). Usable as a context manager.
     """
 
-    def __init__(self, socket_path=None, tcp=None, connect_timeout=30.0):
-        if tcp:
-            host, port = tcp
-            self._sock = socket.create_connection(
-                (host, int(port)), timeout=connect_timeout
-            )
+    def __init__(
+        self, socket_path=None, tcp=None, connect_timeout=30.0, read_timeout=None
+    ):
+        self._socket_path = socket_path
+        self._tcp = tcp
+        self._connect_timeout = connect_timeout
+        if read_timeout is None:
+            self.read_timeout = client_timeout()
         else:
-            path = socket_path or default_socket_path()
-            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            self._sock.settimeout(connect_timeout)
-            self._sock.connect(path)
-        # Streaming reads must wait as long as the simulation does.
-        self._sock.settimeout(None)
-        self._file = self._sock.makefile("rwb")
+            self.read_timeout = read_timeout if read_timeout > 0 else None
+        self._sock = None
+        self._file = None
+        self._connect()
         self.last_summary = None
         self.last_sources = None
+        self.resumes = 0
+
+    def _connect(self):
+        if self._tcp:
+            host, port = self._tcp
+            self._sock = socket.create_connection(
+                (host, int(port)), timeout=self._connect_timeout
+            )
+        else:
+            path = self._socket_path or default_socket_path()
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(self._connect_timeout)
+            self._sock.connect(path)
+        # Streaming reads wait as long as the simulation does — but not
+        # forever: the deadline turns a wedged daemon into an exception
+        # (and, mid-stream, into a reconnect-and-resume).
+        self._sock.settimeout(self.read_timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def _reconnect(self):
+        """Abandon the connection (buffered state and all) and redial."""
+        self.close()
+        self._connect()
 
     def close(self):
         try:
-            self._file.close()
+            if self._file is not None:
+                self._file.close()
+        except OSError:
+            pass
         finally:
-            self._sock.close()
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
 
     def __enter__(self):
         return self
@@ -118,8 +175,9 @@ class ServiceClient:
         batch_id = batch_id or os.urandom(8).hex()
         if env is None:
             env = engine_env()
-        self._send(protocol.submit_points(batch_id, points, env=env))
-        return self._collect(len(points), on_event)
+        message = protocol.submit_points(batch_id, points, env=env)
+        self._send(message)
+        return self._collect(len(points), on_event, resubmit=message)
 
     def submit_figure(
         self,
@@ -139,23 +197,27 @@ class ServiceClient:
         """
         if env is None:
             env = engine_env()
-        self._send(
-            protocol.submit_figure(
-                os.urandom(8).hex(),
-                figure,
-                preset=preset,
-                benchmarks=benchmarks,
-                epochs=epochs,
-                env=env,
-            )
+        message = protocol.submit_figure(
+            os.urandom(8).hex(),
+            figure,
+            preset=preset,
+            benchmarks=benchmarks,
+            epochs=epochs,
+            env=env,
         )
+        self._send(message)
         accepted = self._recv()
         keys = [tuple(key) for key in accepted["keys"]]
-        results = self._stream(accepted, on_event)
+        results = self._stream(accepted, on_event, resubmit=message)
         return dict(zip(keys, results))
 
-    def _collect(self, n_points, on_event):
-        accepted = self._recv()
+    def _collect(self, n_points, on_event, resubmit=None):
+        try:
+            accepted = self._recv()
+        except socket.timeout:
+            raise PointExecutionError(
+                "no accept from server within %.0fs" % (self.read_timeout or 0)
+            )
         if accepted.get("event") != "accepted":
             raise PointExecutionError(
                 "expected accepted, got %r" % (accepted,)
@@ -165,22 +227,64 @@ class ServiceClient:
                 "server accepted %d points, sent %d"
                 % (accepted["n_points"], n_points)
             )
-        return self._stream(accepted, on_event)
+        return self._stream(accepted, on_event, resubmit=resubmit)
 
-    def _stream(self, accepted, on_event):
+    def _resume(self, resubmit):
+        """Redial and replay a submit whose stream went quiet.
+
+        Returns the fresh ``accepted`` message. Idempotent server-side:
+        same batch id, same points — journaled points answer instantly,
+        in-flight points are joined, nothing re-executes.
+        """
+        self.resumes += 1
+        self._reconnect()
+        self._send(resubmit)
+        accepted = self._recv()
+        if accepted.get("event") != "accepted":
+            raise PointExecutionError(
+                "resume expected accepted, got %r" % (accepted,)
+            )
+        return accepted
+
+    def _stream(self, accepted, on_event, resubmit=None):
         results = [None] * accepted["n_points"]
-        errors = []
+        have = [False] * accepted["n_points"]
+        errors = {}
+        attempts = 0
         while True:
-            message = self._recv()
+            try:
+                message = self._recv()
+            except (socket.timeout, ConnectionError):
+                if resubmit is None or attempts >= RESUME_ATTEMPTS:
+                    raise PointExecutionError(
+                        "stream stalled past %s deadline(s) with %d/%d "
+                        "point(s) delivered"
+                        % (
+                            "%.0fs" % self.read_timeout
+                            if self.read_timeout
+                            else "no",
+                            sum(have),
+                            len(have),
+                        )
+                    )
+                attempts += 1
+                accepted = self._resume(resubmit)
+                continue
             event = message.get("event")
+            # Any delivery is progress: the stall budget caps
+            # *consecutive* dead reads, not total resumes over a long
+            # healthy stream.
+            if event in ("point", "point_error", "done"):
+                attempts = 0
             if event == "point":
-                results[message["index"]] = protocol.decode_payload(
-                    message["result"]
-                )
+                index = message["index"]
+                results[index] = protocol.decode_payload(message["result"])
+                have[index] = True
+                errors.pop(index, None)
                 if on_event is not None:
                     on_event(message)
             elif event == "point_error":
-                errors.append((message["index"], message["error"]))
+                errors[message["index"]] = message["error"]
                 if on_event is not None:
                     on_event(message)
             elif event == "done":
@@ -195,7 +299,7 @@ class ServiceClient:
                     len(errors),
                     "; ".join(
                         "index %d: %s" % (index, error)
-                        for index, error in errors
+                        for index, error in sorted(errors.items())
                     ),
                 )
             )

@@ -1,0 +1,295 @@
+"""Fleet placement: the host table, leases, health, and the breaker.
+
+The remote-worker fleet (:mod:`repro.service.worker`) turns the sweep
+scheduler into a distributed system, and this module owns the part that
+must stay correct when hosts misbehave:
+
+* **Liveness is lease-based.** A worker's registration grants it a lease
+  that every heartbeat renews; a worker whose lease deadline passes is
+  presumed dead *even if its TCP connection still looks open* (frozen
+  process, network partition). The scheduler then requeues its units —
+  and any result the zombie later delivers is discarded, because the
+  host entry that held the lease is gone (:meth:`HostTable.get` answers
+  None for it). One execution is *accepted* per digest, ever.
+* **Health is scored per host name, across reconnects.** Consecutive
+  failure incidents (crash, lease lapse, connection loss) trip a circuit
+  breaker: the name is quarantined and only re-admitted through a single
+  *probe* unit after an exponentially backed-off cool-down. A probe
+  success closes the breaker; a probe failure doubles the back-off.
+* **Placement is least-loaded with same-trace affinity.** Among eligible
+  hosts the one whose previous unit replayed the same reference stream
+  (:func:`repro.sim.parallel.trace_key`) wins, so the worker-process
+  ``make_trace`` memo keeps paying off across the fleet; ties fall to
+  the least-loaded, then to registration order (deterministic).
+
+Pure bookkeeping: no sockets, no asyncio, and an injectable clock, so
+every liveness and breaker transition is unit-testable with a fake
+clock (``tests/service/test_placement.py``). The scheduler drives it
+from the event loop only.
+"""
+
+import time
+
+from repro.sim.parallel import DEFAULT_LEASE
+
+#: Consecutive failure incidents before a host name is quarantined.
+FAILURE_THRESHOLD = 3
+
+#: First quarantine cool-down in seconds; doubles per probe failure.
+PROBE_BACKOFF = 1.0
+
+#: Longest quarantine cool-down — a flapping host probes at least this
+#: often instead of being exiled forever.
+MAX_PROBE_BACKOFF = 60.0
+
+
+class HostHealth:
+    """Breaker state for one worker *name* (survives reconnects)."""
+
+    __slots__ = ("failures", "quarantined_until", "backoff", "probing")
+
+    def __init__(self):
+        self.failures = 0
+        self.quarantined_until = None  # None = breaker closed
+        self.backoff = PROBE_BACKOFF
+        self.probing = False
+
+    def admits(self, now):
+        """May this name receive a unit right now?"""
+        if self.quarantined_until is None:
+            return True
+        if now < self.quarantined_until:
+            return False
+        # Cool-down over: half-open — exactly one probe unit at a time.
+        return not self.probing
+
+
+class WorkerHost:
+    """One live registration: a connected worker holding a lease."""
+
+    __slots__ = (
+        "worker_id",
+        "name",
+        "capabilities",
+        "capacity",
+        "send",
+        "close",
+        "lease_deadline",
+        "load",
+        "units",
+        "last_trace",
+        "serial",
+    )
+
+    def __init__(self, worker_id, name, capabilities, send, close, serial):
+        self.worker_id = worker_id
+        self.name = name
+        self.capabilities = dict(capabilities or {})
+        try:
+            self.capacity = max(1, int(self.capabilities.get("slots", 1)))
+        except (TypeError, ValueError):
+            self.capacity = 1
+        self.send = send  # callable(message dict) -> None, loop-side
+        self.close = close  # callable() -> None, drops the connection
+        self.lease_deadline = None
+        self.load = 0
+        self.units = set()  # unit ids currently assigned here
+        self.last_trace = None
+        self.serial = serial
+
+
+class HostTable:
+    """Live hosts, their leases, and per-name health. See module doc."""
+
+    def __init__(
+        self,
+        lease=DEFAULT_LEASE,
+        clock=time.monotonic,
+        failure_threshold=FAILURE_THRESHOLD,
+        probe_backoff=PROBE_BACKOFF,
+        max_probe_backoff=MAX_PROBE_BACKOFF,
+    ):
+        self.lease = lease
+        self.clock = clock
+        self.failure_threshold = failure_threshold
+        self.probe_backoff = probe_backoff
+        self.max_probe_backoff = max_probe_backoff
+        self._hosts = {}  # worker_id -> WorkerHost (live only)
+        self._health = {}  # name -> HostHealth (persists across reconnects)
+        self._serial = 0
+
+    # ------------------------------------------------------------------
+    # registration & liveness
+    # ------------------------------------------------------------------
+
+    def register(self, name, capabilities=None, send=None, close=None):
+        """Admit a worker connection; returns its :class:`WorkerHost`.
+
+        Each registration gets a fresh ``worker_id`` (``name#serial``) so
+        a reconnecting worker can never be confused with the zombie
+        holding its previous lease. Health is keyed by bare name, so the
+        breaker remembers a flaky host across reconnects.
+        """
+        self._serial += 1
+        worker_id = "%s#%d" % (name, self._serial)
+        host = WorkerHost(worker_id, name, capabilities, send, close, self._serial)
+        host.lease_deadline = self.clock() + self.lease
+        self._hosts[worker_id] = host
+        self._health.setdefault(name, HostHealth())
+        return host
+
+    def get(self, worker_id):
+        """The live host for ``worker_id``, or None (expired/lost/unknown)."""
+        return self._hosts.get(worker_id)
+
+    def heartbeat(self, worker_id):
+        """Renew a lease; False if the holder is no longer live."""
+        host = self._hosts.get(worker_id)
+        if host is None:
+            return False
+        host.lease_deadline = self.clock() + self.lease
+        return True
+
+    def expire(self, now=None):
+        """Remove and return every host whose lease deadline has passed.
+
+        The caller (the scheduler's lease loop) requeues their units and
+        records the failure; from this moment any message bearing the
+        expired ``worker_id`` is a zombie's and will be discarded.
+        """
+        now = self.clock() if now is None else now
+        expired = [
+            host
+            for host in self._hosts.values()
+            if host.lease_deadline is not None and host.lease_deadline <= now
+        ]
+        for host in expired:
+            del self._hosts[host.worker_id]
+        return expired
+
+    def lost(self, worker_id):
+        """A worker connection dropped; remove and return its host."""
+        return self._hosts.pop(worker_id, None)
+
+    def live(self):
+        """All live hosts, registration order."""
+        return sorted(self._hosts.values(), key=lambda host: host.serial)
+
+    def live_count(self):
+        return len(self._hosts)
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+
+    def placeable(self, now=None):
+        """Whether *any* host could accept a unit right now.
+
+        Trace-independent (affinity only ranks, never rejects), so the
+        dispatcher can check capacity *before* popping a unit — popping
+        first and pushing back would skew its round-robin fairness.
+        """
+        now = self.clock() if now is None else now
+        return any(
+            host.load < host.capacity and self._health[host.name].admits(now)
+            for host in self._hosts.values()
+        )
+
+    def place(self, trace, now=None):
+        """The host that should run a unit of trace-identity ``trace``.
+
+        Least-loaded among eligible hosts (live, spare capacity, breaker
+        admits), with same-trace affinity: a host that just replayed the
+        same stream beats a colder, equally-loaded one. Returns None when
+        nothing is placeable right now.
+        """
+        now = self.clock() if now is None else now
+        best = None
+        best_rank = None
+        for host in self._hosts.values():
+            if host.load >= host.capacity:
+                continue
+            if not self._health[host.name].admits(now):
+                continue
+            # Affinity first, then load, then registration order.
+            rank = (0 if host.last_trace == trace else 1, host.load, host.serial)
+            if best_rank is None or rank < best_rank:
+                best, best_rank = host, rank
+        return best
+
+    def assign(self, host, unit_id, trace):
+        """Record a unit placed on ``host`` (call after :meth:`place`)."""
+        host.load += 1
+        host.units.add(unit_id)
+        host.last_trace = trace
+        health = self._health[host.name]
+        if health.quarantined_until is not None:
+            health.probing = True  # this unit is the half-open probe
+
+    def release(self, host, unit_id):
+        """A unit left ``host`` (result accepted, requeued, or failed)."""
+        host.units.discard(unit_id)
+        host.load = max(0, host.load - 1)
+
+    # ------------------------------------------------------------------
+    # health scoring (per name)
+    # ------------------------------------------------------------------
+
+    def record_success(self, name):
+        """A unit completed on ``name``: close the breaker, reset back-off."""
+        health = self._health.setdefault(name, HostHealth())
+        health.failures = 0
+        health.quarantined_until = None
+        health.backoff = self.probe_backoff
+        health.probing = False
+
+    def record_failure(self, name, now=None):
+        """One failure incident on ``name``; True if it tripped quarantine.
+
+        An *incident* is a crash, lease lapse, or connection loss — not a
+        per-unit count, so one dead host shedding five units scores one
+        failure. At :data:`FAILURE_THRESHOLD` consecutive incidents the
+        name is quarantined for the current back-off, which then doubles
+        (capped), giving the exponential probe cadence.
+        """
+        now = self.clock() if now is None else now
+        health = self._health.setdefault(name, HostHealth())
+        health.probing = False
+        health.failures += 1
+        if health.failures < self.failure_threshold:
+            return False
+        health.quarantined_until = now + health.backoff
+        health.backoff = min(health.backoff * 2.0, self.max_probe_backoff)
+        return True
+
+    def health(self, name):
+        """The :class:`HostHealth` for ``name`` (created on demand)."""
+        return self._health.setdefault(name, HostHealth())
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def snapshot(self, now=None):
+        """JSON-safe fleet state for the ``status`` protocol op."""
+        now = self.clock() if now is None else now
+        hosts = []
+        for host in self.live():
+            health = self._health[host.name]
+            hosts.append(
+                {
+                    "worker": host.worker_id,
+                    "capacity": host.capacity,
+                    "load": host.load,
+                    "lease_remaining": round(host.lease_deadline - now, 3)
+                    if host.lease_deadline is not None
+                    else None,
+                    "failures": health.failures,
+                    "quarantined": not health.admits(now),
+                }
+            )
+        return {
+            "lease": self.lease,
+            "live": len(hosts),
+            "hosts": hosts,
+        }

@@ -73,6 +73,7 @@ class SweepService:
         retries=None,
         backoff=DEFAULT_BACKOFF,
         runner=None,
+        lease=None,
     ):
         self.spool_dir = spool_dir or DEFAULT_SPOOL_DIR
         self.batch_dir = os.path.join(self.spool_dir, "batches")
@@ -95,6 +96,7 @@ class SweepService:
             retries=retries,
             backoff=backoff,
             runner=runner,
+            lease=lease,
         )
         self._server = None
         self._stopping = None
@@ -148,8 +150,13 @@ class SweepService:
         if self.socket_path:
             try:
                 os.unlink(self.socket_path)
-            except OSError:
+            except FileNotFoundError:
                 pass
+            except OSError as exc:
+                # Swallowed (shutdown must finish) but observable.
+                self.events.append(
+                    "io_error", op="unlink_socket", error=str(exc)
+                )
         self.events.append("stop")
 
     async def run(self):
@@ -159,8 +166,14 @@ class SweepService:
         for signum in (signal.SIGTERM, signal.SIGINT):
             try:
                 loop.add_signal_handler(signum, self.request_stop)
-            except (NotImplementedError, RuntimeError):
-                pass
+            except (NotImplementedError, RuntimeError) as exc:
+                # Non-main-thread / non-unix loops: the daemon still
+                # works, it just cannot catch this signal — say so.
+                self.events.append(
+                    "signal_handler_unavailable",
+                    signal=int(signum),
+                    error=str(exc),
+                )
         try:
             await self._stopping.wait()
         finally:
@@ -194,8 +207,10 @@ class SweepService:
         except BaseException:
             try:
                 os.unlink(tmp_path)
-            except OSError:
-                pass
+            except OSError as exc:
+                self.events.append(
+                    "io_error", op="unlink_spool_tmp", error=str(exc)
+                )
             raise
 
     def _unspool(self, batch_id):
@@ -257,12 +272,32 @@ class SweepService:
         client = "client-%d" % self._clients
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except ValueError as exc:
+                    # A line past STREAM_LIMIT: the buffered tail cannot
+                    # be resynchronized, so answer cleanly and hang up —
+                    # the daemon itself stays healthy.
+                    self.events.append(
+                        "protocol_error", client=client, error=str(exc)
+                    )
+                    await self._send(
+                        writer,
+                        {
+                            "event": "error",
+                            "error": "frame too large: %s" % exc,
+                            "fatal": True,
+                        },
+                    )
+                    break
                 if not line:
                     break
                 try:
                     message = protocol.loads(line)
                 except ValueError as exc:
+                    self.events.append(
+                        "protocol_error", client=client, error=str(exc)
+                    )
                     await self._send(
                         writer, {"event": "error", "error": "bad message: %s" % exc}
                     )
@@ -283,19 +318,149 @@ class SweepService:
                     break
                 elif op == "submit":
                     await self._handle_submit(message, writer, client)
+                elif op == "register":
+                    # The connection becomes a worker channel for the
+                    # rest of its life; returns when the worker is gone.
+                    await self._handle_worker(message, reader, writer)
+                    break
                 else:
                     await self._send(
                         writer,
                         {"event": "error", "error": "unknown op %r" % (op,)},
                     )
-        except (ConnectionError, asyncio.IncompleteReadError):
-            pass  # client went away; any scheduled work continues
+        except (ConnectionError, asyncio.IncompleteReadError) as exc:
+            # Client went away; any scheduled work continues.
+            self.events.append(
+                "client_disconnect", client=client, error=str(exc)
+            )
         finally:
             try:
                 writer.close()
                 await writer.wait_closed()
-            except Exception:
-                pass
+            except (ConnectionError, OSError) as exc:
+                self.events.append(
+                    "io_error", op="close_client", client=client, error=str(exc)
+                )
+
+    async def _handle_worker(self, message, reader, writer):
+        """Drive one remote-worker connection until it dies.
+
+        The worker registered on what began as a client connection; from
+        here the connection is a full-duplex worker channel: the
+        scheduler pushes ``assign`` frames through ``send`` whenever
+        placement picks this host, and this loop consumes the worker's
+        heartbeats, results, and errors. Liveness is the lease's job —
+        this loop never times out a read; it only reacts to EOF, resets,
+        and garbled frames (all of which mean the *connection* is dead
+        or untrustworthy, and the scheduler requeues the host's units).
+        """
+
+        def send(msg):
+            writer.write(protocol.dumps(msg))
+
+        def close():
+            writer.close()
+
+        def admit(msg):
+            host = self.scheduler.worker_register(
+                str(msg.get("name") or "worker"),
+                msg.get("capabilities"),
+                send=send,
+                close=close,
+            )
+            send(
+                {
+                    "event": "registered",
+                    "worker": host.worker_id,
+                    "lease": self.scheduler.lease,
+                    "heartbeat": self.scheduler.heartbeat_interval,
+                    "protocol": protocol.PROTOCOL_VERSION,
+                }
+            )
+            return host
+
+        worker_id = admit(message).worker_id
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError as exc:
+                    self.events.append(
+                        "protocol_error", worker=worker_id, error=str(exc)
+                    )
+                    self.scheduler.worker_lost(worker_id)
+                    return
+                if not line:
+                    self.scheduler.worker_lost(worker_id)
+                    return
+                try:
+                    msg = protocol.loads(line)
+                except ValueError as exc:
+                    # A garbled frame means the stream can no longer be
+                    # trusted: drop the worker (its units requeue) and
+                    # let it reconnect with a clean channel.
+                    self.events.append(
+                        "protocol_error", worker=worker_id, error=str(exc)
+                    )
+                    self.scheduler.worker_lost(worker_id)
+                    return
+                op = msg.get("op")
+                if op == "heartbeat":
+                    ok = self.scheduler.worker_heartbeat(msg.get("worker"))
+                    send({"event": "lease", "ok": ok})
+                elif op == "register":
+                    # A zombie re-admitting itself after its lease
+                    # lapsed; it gets a brand-new worker id.
+                    worker_id = admit(msg).worker_id
+                elif op == "unit_result":
+                    try:
+                        results = [
+                            protocol.decode_payload(text)
+                            for text in msg.get("results") or []
+                        ]
+                    except Exception as exc:
+                        self.events.append(
+                            "protocol_error",
+                            worker=worker_id,
+                            unit=msg.get("unit"),
+                            error="undecodable results: %s" % exc,
+                        )
+                        self.scheduler.worker_lost(worker_id)
+                        return
+                    accepted = self.scheduler.worker_result(
+                        msg.get("worker"), msg.get("unit"), results
+                    )
+                    send(
+                        {
+                            "event": "ack",
+                            "unit": msg.get("unit"),
+                            "accepted": accepted,
+                        }
+                    )
+                elif op == "unit_error":
+                    accepted = self.scheduler.worker_error(
+                        msg.get("worker"),
+                        msg.get("unit"),
+                        msg.get("error"),
+                        transient=bool(msg.get("transient", True)),
+                    )
+                    send(
+                        {
+                            "event": "ack",
+                            "unit": msg.get("unit"),
+                            "accepted": accepted,
+                        }
+                    )
+                else:
+                    send(
+                        {"event": "error", "error": "unknown worker op %r" % (op,)}
+                    )
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError) as exc:
+            self.events.append(
+                "io_error", op="worker_channel", worker=worker_id, error=str(exc)
+            )
+            self.scheduler.worker_lost(worker_id)
 
     async def _send(self, writer, message):
         writer.write(protocol.dumps(message))

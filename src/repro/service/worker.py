@@ -1,0 +1,400 @@
+"""The remote worker: ``repro worker`` — a fleet member process.
+
+A :class:`SweepWorker` dials *out* to a running daemon (unix socket or
+TCP), registers with its capabilities (execution ``slots``, core count,
+engine-flag capture), and then serves ``assign`` frames: each unit's
+points run through the same isolated, killable, retrying machinery the
+daemon's local pool uses (:func:`repro.sim.parallel.execute_batch_with_retry`),
+with the submitting client's engine env pinned in the child — so a
+point computes bit-identically no matter which host it lands on.
+
+Liveness is the worker's responsibility: a background thread renews the
+daemon-granted lease every ``heartbeat`` interval. A worker that stops
+beating — frozen, partitioned, dead — is expired by the daemon and its
+units requeued; anything it delivers afterwards is stale by
+construction (its ``worker_id`` died with the lease) and the daemon
+discards it. The worker therefore tags every delivery with the id the
+unit was *assigned under*, not its current one, which is exactly what
+makes the stale-discard airtight across reconnects.
+
+Threading model (no asyncio here — execution is blocking anyway):
+
+* the main thread owns the connection: dial, register, read frames,
+  enqueue assignments, and reconnect with a fresh registration whenever
+  the connection dies;
+* ``slots`` executor threads pull assignments and run them;
+* one heartbeat thread beats on a timer (suppressed while a chaos
+  ``freeze`` is active).
+
+Sends from all threads go through one lock; reads happen only on the
+main thread via a select-timed line buffer (:class:`_Channel`).
+
+Chaos (:mod:`repro.fault.chaos`) hooks three sites: ``unit_start``
+(kill), ``heartbeat`` (freeze), and ``deliver`` (drop / garble /
+partition). A plan arrives via ``REPRO_CHAOS`` so the chaos smoke can
+aim a deterministic fault schedule at each fleet member.
+"""
+
+import os
+import queue
+import select
+import signal
+import socket
+import threading
+import time
+
+from repro.fault.chaos import ChaosPlan, garble_line, truncate_line
+from repro.service import protocol
+from repro.service.server import default_socket_path
+from repro.sim.parallel import (
+    DEFAULT_BACKOFF,
+    PointExecutionError,
+    PointTimeoutError,
+    WorkerCrashError,
+    available_cpus,
+    engine_env,
+    execute_batch_with_retry,
+    fault_env,
+    lease_env,
+)
+
+#: Seconds between reconnect attempts after a dead connection.
+RECONNECT_DELAY = 0.5
+
+#: Delay before a chaos ``kill`` lands, so the unit is genuinely
+#: mid-execution when the process dies.
+KILL_DELAY = 0.05
+
+
+class _Channel:
+    """Newline-framed messages over one blocking socket.
+
+    Reads are select-timed against an internal buffer (a plain
+    ``makefile`` object cannot mix timeouts with buffering without
+    losing partial lines); sends are whole-line ``sendall`` under a
+    lock so executor, heartbeat, and main threads never interleave
+    frames.
+    """
+
+    def __init__(self, sock):
+        self._sock = sock
+        self._buf = b""
+        self._send_lock = threading.Lock()
+
+    def readline(self, timeout=None):
+        """One full line, or None on timeout; ConnectionError on EOF."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            index = self._buf.find(b"\n")
+            if index >= 0:
+                line = self._buf[: index + 1]
+                self._buf = self._buf[index + 1 :]
+                return line
+            if deadline is None:
+                wait = None
+            else:
+                wait = deadline - time.monotonic()
+                if wait <= 0:
+                    return None
+            try:
+                ready, _w, _x = select.select([self._sock], [], [], wait)
+            except (OSError, ValueError) as exc:
+                raise ConnectionError("connection lost: %s" % exc)
+            if not ready:
+                return None
+            try:
+                data = self._sock.recv(1 << 16)
+            except OSError as exc:
+                raise ConnectionError("connection lost: %s" % exc)
+            if not data:
+                raise ConnectionError("daemon closed the connection")
+            self._buf += data
+
+    def send(self, message):
+        self.send_raw(protocol.dumps(message))
+
+    def send_raw(self, data):
+        with self._send_lock:
+            self._sock.sendall(data)
+
+    def close(self):
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class SweepWorker:
+    """One fleet member. ``runner(points, env)`` injects execution for
+    tests; the default is the isolated retrying machinery. ``chaos``
+    defaults to the plan in ``REPRO_CHAOS`` (usually none)."""
+
+    def __init__(
+        self,
+        name=None,
+        socket_path=None,
+        tcp=None,
+        slots=1,
+        chaos=None,
+        timeout=None,
+        retries=None,
+        backoff=DEFAULT_BACKOFF,
+        runner=None,
+        connect_timeout=30.0,
+        reconnect_delay=RECONNECT_DELAY,
+        on_event=None,
+    ):
+        self.name = name or "%s-%d" % (socket.gethostname(), os.getpid())
+        self._socket_path = socket_path
+        self._tcp = tcp
+        self.slots = max(1, int(slots))
+        self.chaos = chaos if chaos is not None else ChaosPlan.from_env()
+        env_timeout, env_retries = fault_env()
+        self.timeout = env_timeout if timeout is None else timeout
+        self.retries = env_retries if retries is None else retries
+        self.backoff = backoff
+        self._runner = runner
+        self._connect_timeout = connect_timeout
+        self._reconnect_delay = reconnect_delay
+        self._on_event = on_event  # callable(event, **fields), tests/CLI
+        self.lease, self.heartbeat_interval = lease_env()
+        self.worker_id = None
+        self.units_done = 0
+        self._channel = None
+        self._queue = queue.Queue()
+        self._stop = threading.Event()
+        self._registered = threading.Event()
+        self._frozen_until = 0.0
+        self._threads = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def _emit(self, event, **fields):
+        if self._on_event is not None:
+            self._on_event(event, **fields)
+
+    def capabilities(self):
+        return {
+            "slots": self.slots,
+            "cores": available_cpus(),
+            "engine": engine_env(),
+        }
+
+    def run(self):
+        """Serve until :meth:`stop`; reconnects across daemon restarts."""
+        for _slot in range(self.slots):
+            thread = threading.Thread(target=self._executor_loop, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        beat = threading.Thread(target=self._heartbeat_loop, daemon=True)
+        beat.start()
+        self._threads.append(beat)
+        try:
+            while not self._stop.is_set():
+                try:
+                    self._serve_connection()
+                except (ConnectionError, OSError) as exc:
+                    self._registered.clear()
+                    self._emit("disconnected", error=str(exc))
+                    if self._stop.is_set():
+                        break
+                    time.sleep(self._reconnect_delay)
+        finally:
+            self.stop()
+        return 0
+
+    def stop(self):
+        self._stop.set()
+        self._registered.clear()
+        channel = self._channel
+        if channel is not None:
+            channel.close()
+        for _thread in self._threads:
+            self._queue.put(None)
+
+    # ------------------------------------------------------------------
+    # connection (main thread)
+    # ------------------------------------------------------------------
+
+    def _dial(self):
+        if self._tcp:
+            host, port = self._tcp
+            sock = socket.create_connection(
+                (host, int(port)), timeout=self._connect_timeout
+            )
+        else:
+            path = self._socket_path or default_socket_path()
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self._connect_timeout)
+            sock.connect(path)
+        sock.settimeout(None)
+        return _Channel(sock)
+
+    def _serve_connection(self):
+        channel = self._dial()
+        self._channel = channel
+        channel.send(protocol.register_worker(self.name, self.capabilities()))
+        try:
+            while not self._stop.is_set():
+                line = channel.readline(timeout=0.5)
+                if line is None:
+                    continue
+                message = protocol.loads(line)
+                event = message.get("event")
+                if event == "registered":
+                    self.worker_id = message["worker"]
+                    self.lease = float(message.get("lease") or self.lease)
+                    self.heartbeat_interval = float(
+                        message.get("heartbeat") or self.heartbeat_interval
+                    )
+                    # Re-admission ends any chaos freeze: the worker is
+                    # demonstrably awake again.
+                    self._frozen_until = 0.0
+                    self._registered.set()
+                    self._emit("registered", worker=self.worker_id)
+                elif event == "assign":
+                    points = [
+                        protocol.decode_payload(text)
+                        for text in message.get("points") or []
+                    ]
+                    self._emit(
+                        "assigned", unit=message.get("unit"), n_points=len(points)
+                    )
+                    self._queue.put(
+                        (
+                            self.worker_id,
+                            message.get("unit"),
+                            points,
+                            message.get("env"),
+                        )
+                    )
+                elif event == "lease":
+                    if not message.get("ok"):
+                        # Our lease lapsed (the daemon sees a zombie):
+                        # re-register for a fresh identity on this same
+                        # connection; in-flight units deliver stale.
+                        self._registered.clear()
+                        channel.send(
+                            protocol.register_worker(
+                                self.name, self.capabilities()
+                            )
+                        )
+                # ack / error / pong: nothing to do.
+        finally:
+            self._registered.clear()
+            channel.close()
+
+    # ------------------------------------------------------------------
+    # heartbeats
+    # ------------------------------------------------------------------
+
+    def _heartbeat_loop(self):
+        while not self._stop.is_set():
+            time.sleep(max(0.05, self.heartbeat_interval))
+            if not self._registered.is_set():
+                continue
+            now = time.monotonic()
+            if now < self._frozen_until:
+                continue
+            if self.chaos and "freeze" in self.chaos.trigger("heartbeat"):
+                # Go dark long enough for the lease to lapse while the
+                # process and connection stay alive — the daemon must
+                # expire us, requeue our units, and discard anything we
+                # deliver late.
+                self._frozen_until = now + 3.0 * self.lease
+                self._emit("chaos_freeze", until=self._frozen_until)
+                continue
+            channel = self._channel
+            worker_id = self.worker_id
+            if channel is None or worker_id is None:
+                continue
+            try:
+                channel.send(protocol.heartbeat(worker_id))
+            except (OSError, ConnectionError):
+                pass  # main thread will notice and reconnect
+
+    # ------------------------------------------------------------------
+    # unit execution (executor threads)
+    # ------------------------------------------------------------------
+
+    def _execute(self, points, env):
+        if self._runner is not None:
+            return self._runner(points, env)
+        return execute_batch_with_retry(
+            points,
+            timeout=self.timeout,
+            retries=self.retries,
+            backoff=self.backoff,
+            should_retry=lambda: not self._stop.is_set(),
+            env=env,
+        )
+
+    def _executor_loop(self):
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            worker_id, unit_id, points, env = item
+            if self.chaos and "kill" in self.chaos.trigger("unit_start"):
+                self._emit("chaos_kill", unit=unit_id)
+                timer = threading.Timer(
+                    KILL_DELAY, os.kill, (os.getpid(), signal.SIGKILL)
+                )
+                timer.daemon = True
+                timer.start()
+            try:
+                results = self._execute(points, env)
+            except (WorkerCrashError, PointTimeoutError) as exc:
+                self._deliver(
+                    protocol.unit_error(worker_id, unit_id, exc, transient=True)
+                )
+            except PointExecutionError as exc:
+                # Deterministic simulation failure: rerunning elsewhere
+                # fails identically, so don't let it count against us.
+                self._deliver(
+                    protocol.unit_error(worker_id, unit_id, exc, transient=False)
+                )
+            except Exception as exc:
+                self._deliver(
+                    protocol.unit_error(worker_id, unit_id, exc, transient=True)
+                )
+            else:
+                self.units_done += 1
+                self._deliver(protocol.unit_result(worker_id, unit_id, results))
+
+    def _deliver(self, message):
+        """Send a unit outcome, letting chaos corrupt or sever it.
+
+        Delivery failures are swallowed: a dead connection means the
+        daemon already counted us lost and requeued the unit; pushing
+        the result anyway is exactly the zombie case the scheduler
+        discards.
+        """
+        line = protocol.dumps(message)
+        if self.chaos:
+            fired = self.chaos.trigger("deliver")
+            if "partition" in fired:
+                # Sever before delivering; compute is done, so after the
+                # main thread reconnects and re-registers we push the
+                # result under the *old* id — the textbook stale frame.
+                self._emit("chaos_partition", unit=message.get("unit"))
+                self._registered.clear()
+                channel = self._channel
+                if channel is not None:
+                    channel.close()
+                self._registered.wait(timeout=max(10.0, 3.0 * self.lease))
+            elif "garble" in fired:
+                self._emit("chaos_garble", unit=message.get("unit"))
+                line = garble_line(line)
+            elif "drop" in fired:
+                self._emit("chaos_drop", unit=message.get("unit"))
+                line = truncate_line(line)
+        channel = self._channel
+        if channel is None:
+            return
+        try:
+            channel.send_raw(line)
+        except (OSError, ConnectionError):
+            pass

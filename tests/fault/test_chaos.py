@@ -1,0 +1,86 @@
+"""ChaosPlan unit tests: determinism, single-use firing, transport."""
+
+import pytest
+
+from repro.fault.chaos import (
+    CHAOS_SITES,
+    ChaosAction,
+    ChaosPlan,
+    garble_line,
+    truncate_line,
+)
+
+
+class TestAction:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos kind"):
+            ChaosAction("meteor", 1)
+
+    def test_occurrence_counts_from_one(self):
+        with pytest.raises(ValueError, match="counts from 1"):
+            ChaosAction("kill", 0)
+
+
+class TestPlan:
+    def test_fires_on_nth_site_visit_single_use(self):
+        plan = ChaosPlan([ChaosAction("kill", 3)])
+        assert plan.trigger("unit_start") == []
+        assert plan.trigger("unit_start") == []
+        assert plan.trigger("unit_start") == ["kill"]
+        # Strictly single-use: the 3rd visit consumed it forever.
+        for _ in range(5):
+            assert plan.trigger("unit_start") == []
+        assert plan.pending() == []
+
+    def test_sites_are_counted_independently(self):
+        plan = ChaosPlan([ChaosAction("kill", 1), ChaosAction("freeze", 2)])
+        assert plan.trigger("heartbeat") == []
+        assert plan.trigger("unit_start") == ["kill"]
+        assert plan.trigger("heartbeat") == ["freeze"]
+
+    def test_spec_round_trip(self):
+        plan = ChaosPlan.from_spec("kill@2, garble@1,partition@3")
+        assert plan.to_spec() == "kill@2,garble@1,partition@3"
+        assert ChaosPlan.from_spec(plan.to_spec()).to_spec() == plan.to_spec()
+        assert not ChaosPlan.from_spec("")
+        assert not ChaosPlan.from_spec(None)
+        assert ChaosPlan.from_spec("drop").actions[0].occurrence == 1
+
+    def test_from_env(self):
+        plan = ChaosPlan.from_env({"REPRO_CHAOS": "freeze@2"})
+        assert plan.to_spec() == "freeze@2"
+        assert not ChaosPlan.from_env({})
+
+    def test_seeded_is_deterministic_and_bounded(self):
+        kinds = sorted(CHAOS_SITES)
+        a = ChaosPlan.seeded("seed-42", kinds, lo=1, hi=4)
+        b = ChaosPlan.seeded("seed-42", kinds, lo=1, hi=4)
+        assert a.to_spec() == b.to_spec()
+        assert all(1 <= act.occurrence <= 4 for act in a.actions)
+        # A different seed yields a different schedule (for these kinds).
+        c = ChaosPlan.seeded("seed-43", kinds, lo=1, hi=100)
+        assert c.to_spec() != ChaosPlan.seeded("seed-42", kinds, hi=100).to_spec()
+
+    def test_describe(self):
+        plan = ChaosPlan.from_spec("kill@1")
+        assert plan.describe() == "kill@1"
+        plan.trigger("unit_start")
+        assert "fired" in plan.describe()
+        assert ChaosPlan().describe() == "no chaos"
+
+
+class TestCorruption:
+    def test_garble_keeps_framing_but_breaks_content(self):
+        line = b'{"op": "unit_result", "results": ["QUJD"]}\n'
+        bad = garble_line(line)
+        assert bad.endswith(b"\n")
+        assert bad.count(b"\n") == 1
+        assert bad != line
+        # Deterministic: same input, same corruption.
+        assert garble_line(line) == bad
+
+    def test_truncate_keeps_newline(self):
+        line = b'{"op": "unit_result", "results": ["QUJD"]}\n'
+        bad = truncate_line(line)
+        assert bad.endswith(b"\n")
+        assert len(bad) < len(line)

@@ -1,0 +1,85 @@
+"""EventLog rotation tests: size cap, retention, seamless replay."""
+
+import os
+
+from repro.service.events import (
+    EventLog,
+    event_segments,
+    executions_per_digest,
+    read_events,
+)
+
+
+def test_no_rotation_below_cap(tmp_path):
+    path = str(tmp_path / "events.jsonl")
+    log = EventLog(path, max_bytes=1 << 20, segments=3)
+    for i in range(50):
+        log.append("tick", i=i)
+    assert event_segments(path) == [path]
+    assert [r["i"] for r in read_events(path)] == list(range(50))
+
+
+def test_rotation_preserves_full_history(tmp_path):
+    path = str(tmp_path / "events.jsonl")
+    # Tiny cap: every few records roll a new segment.
+    log = EventLog(path, max_bytes=200, segments=10)
+    for i in range(40):
+        log.append("tick", i=i)
+    segments = event_segments(path)
+    assert len(segments) > 2
+    # Replay is one continuous, ordered history across all segments.
+    assert [r["i"] for r in read_events(path)] == list(range(40))
+
+
+def test_retention_drops_oldest_segments(tmp_path):
+    path = str(tmp_path / "events.jsonl")
+    log = EventLog(path, max_bytes=120, segments=2)
+    for i in range(60):
+        log.append("tick", i=i)
+    assert not os.path.exists(path + ".3")
+    recorded = [r["i"] for r in read_events(path)]
+    # The newest records survive, in order, with the oldest aged out.
+    assert recorded == sorted(recorded)
+    assert recorded[-1] == 59
+    assert 0 not in recorded
+
+
+def test_rotation_disabled_with_zero_cap(tmp_path):
+    path = str(tmp_path / "events.jsonl")
+    log = EventLog(path, max_bytes=0, segments=2)
+    for i in range(100):
+        log.append("tick", i=i)
+    assert event_segments(path) == [path]
+    assert len(read_events(path)) == 100
+
+
+def test_append_across_instances_resumes_size_accounting(tmp_path):
+    # A daemon restart reopens the same active segment; its size must
+    # count toward the cap or rotation would never trigger again.
+    path = str(tmp_path / "events.jsonl")
+    for _restart in range(6):
+        log = EventLog(path, max_bytes=300, segments=5)
+        for i in range(10):
+            log.append("tick", restart=_restart, i=i)
+    assert len(event_segments(path)) > 1
+
+
+def test_rotation_env_knobs(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_EVENTS_MAX_BYTES", "150")
+    monkeypatch.setenv("REPRO_EVENTS_SEGMENTS", "2")
+    path = str(tmp_path / "events.jsonl")
+    log = EventLog(path)
+    assert log.max_bytes == 150
+    assert log.segments == 2
+    for i in range(40):
+        log.append("tick", i=i)
+    assert len(event_segments(path)) <= 3  # active + 2 retained
+
+
+def test_executions_per_digest_spans_segments(tmp_path):
+    path = str(tmp_path / "events.jsonl")
+    log = EventLog(path, max_bytes=150, segments=20)
+    for i in range(20):
+        log.append("done", digest="d%02d" % i)
+    counts = executions_per_digest(read_events(path))
+    assert counts == {"d%02d" % i: 1 for i in range(20)}

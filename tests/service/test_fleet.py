@@ -1,0 +1,304 @@
+"""Fleet integration tests: the Scheduler driving fake remote workers.
+
+These exercise the loop-side worker API (``worker_register`` /
+``worker_heartbeat`` / ``worker_result`` / ``worker_error`` /
+``worker_lost``) directly — no sockets — so every distributed-failure
+property is deterministic: placement prefers the fleet, a lost or
+lease-lapsed worker's units requeue (exactly once onto the fleet, then
+pinned local), a zombie's late delivery is discarded without a ``done``
+event, and the breaker quarantines a repeatedly-failing host.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service import protocol
+from repro.service.events import EventLog, executions_per_digest
+from repro.service.scheduler import Scheduler
+from repro.sim.config import SystemConfig
+from repro.sim.parallel import PointExecutionError, RunPoint, point_digest
+
+CONFIG = SystemConfig().scaled(512)
+N = CONFIG.epoch_instructions
+
+
+def make_points(*seeds):
+    return [
+        RunPoint.single(CONFIG, "picl", "gcc", N, seed=seed) for seed in seeds
+    ]
+
+
+class FakeWorker:
+    """A loop-side stand-in for a connected remote worker."""
+
+    def __init__(self, scheduler, name="w", slots=4):
+        self.scheduler = scheduler
+        self.inbox = []
+        self.closed = False
+        self.host = scheduler.worker_register(
+            name, {"slots": slots}, send=self.inbox.append, close=self._close
+        )
+        self.worker_id = self.host.worker_id
+
+    def _close(self):
+        self.closed = True
+
+    def assignments(self):
+        return [msg for msg in self.inbox if msg.get("event") == "assign"]
+
+    def finish(self, message, worker_id=None):
+        points = [protocol.decode_payload(t) for t in message["points"]]
+        return self.scheduler.worker_result(
+            worker_id or self.worker_id,
+            message["unit"],
+            ["result-%d" % p.seed for p in points],
+        )
+
+
+async def until(condition, timeout=5.0):
+    deadline = asyncio.get_event_loop().time() + timeout
+    while not condition():
+        if asyncio.get_event_loop().time() > deadline:
+            raise AssertionError("condition not met within %.1fs" % timeout)
+        await asyncio.sleep(0.01)
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+class TestRemotePlacement:
+    def test_fleet_preferred_over_local_pool(self):
+        events = EventLog()
+        points = make_points(1, 2, 3)
+
+        async def scenario():
+            # runner raises if the local path is ever taken.
+            def local_runner(_points):
+                raise AssertionError("local pool used despite a free worker")
+
+            scheduler = Scheduler(jobs=2, events=events, runner=local_runner)
+            scheduler.start()
+            worker = FakeWorker(scheduler, "alpha")
+            entries = scheduler.submit("alice", points)
+            await until(lambda: len(worker.assignments()) == 3)
+            for message in worker.assignments():
+                assert worker.finish(message)
+            results = await asyncio.gather(*(f for f, _s in entries))
+            await scheduler.close()
+            return results
+
+        results = run_async(scenario())
+        assert results == ["result-1", "result-2", "result-3"]
+        assert events.counts["assign"] == 3
+        assert events.counts["dispatch"] == 0  # never went local
+        # done events carry the executing worker and count exactly once.
+        assert all(
+            record.get("worker") == "alpha#1"
+            for record in events.tail(100)
+            if record["event"] == "done"
+        )
+        assert set(executions_per_digest(events.tail(100)).values()) == {1}
+
+    def test_zero_workers_runs_on_local_pool(self):
+        events = EventLog()
+        calls = []
+
+        def runner(points):
+            calls.append(len(points))
+            return ["result-%d" % p.seed for p in points]
+
+        async def scenario():
+            scheduler = Scheduler(jobs=2, events=events, runner=runner)
+            scheduler.start()
+            entries = scheduler.submit("alice", make_points(7))
+            results = await asyncio.gather(*(f for f, _s in entries))
+            await scheduler.close()
+            return results
+
+        assert run_async(scenario()) == ["result-7"]
+        assert calls == [1]
+        assert events.counts["assign"] == 0
+
+
+class TestFailureReassignment:
+    def test_worker_lost_requeues_onto_local_pool(self):
+        events = EventLog()
+
+        def runner(points):
+            return ["result-%d" % p.seed for p in points]
+
+        async def scenario():
+            scheduler = Scheduler(jobs=1, events=events, runner=runner)
+            scheduler.start()
+            worker = FakeWorker(scheduler, "alpha")
+            entries = scheduler.submit("alice", make_points(1))
+            await until(lambda: len(worker.assignments()) == 1)
+            scheduler.worker_lost(worker.worker_id)
+            results = await asyncio.gather(*(f for f, _s in entries))
+            await scheduler.close()
+            return results
+
+        assert run_async(scenario()) == ["result-1"]
+        assert events.counts["worker_lost"] == 1
+        assert events.counts["requeue"] == 1
+        assert set(executions_per_digest(events.tail(100)).values()) == {1}
+
+    def test_lease_expiry_requeues_and_discards_zombie_result(self):
+        events = EventLog()
+
+        def runner(points):
+            return ["result-%d" % p.seed for p in points]
+
+        async def scenario():
+            scheduler = Scheduler(
+                jobs=1, events=events, runner=runner, lease=0.2
+            )
+            scheduler.start()
+            worker = FakeWorker(scheduler, "alpha")
+            entries = scheduler.submit("alice", make_points(1))
+            await until(lambda: len(worker.assignments()) == 1)
+            message = worker.assignments()[0]
+            # No heartbeats: the lease lapses, the unit requeues and
+            # completes locally.
+            results = await asyncio.gather(*(f for f, _s in entries))
+            await until(lambda: worker.closed)
+            # The zombie now delivers its stale result: discarded.
+            assert not worker.finish(message)
+            await scheduler.close()
+            return results
+
+        assert run_async(scenario()) == ["result-1"]
+        assert events.counts["worker_expired"] == 1
+        assert events.counts["stale_result"] == 1
+        # Exactly one accepted execution despite the double computation.
+        assert set(executions_per_digest(events.tail(200)).values()) == {1}
+
+    def test_second_requeue_pins_unit_local(self):
+        events = EventLog()
+
+        def runner(points):
+            return ["result-%d" % p.seed for p in points]
+
+        async def scenario():
+            scheduler = Scheduler(jobs=1, events=events, runner=runner)
+            scheduler.start()
+            worker = FakeWorker(scheduler, "alpha")
+            entries = scheduler.submit("alice", make_points(1))
+            await until(lambda: len(worker.assignments()) == 1)
+            first = worker.assignments()[0]
+            # Transient failure #1: requeued, still fleet-eligible, so
+            # the (healthy-enough) worker gets it again.
+            assert scheduler.worker_error(
+                worker.worker_id, first["unit"], "boom", transient=True
+            )
+            await until(lambda: len(worker.assignments()) == 2)
+            second = worker.assignments()[1]
+            # Transient failure #2: pinned local — the worker must NOT
+            # see it a third time.
+            assert scheduler.worker_error(
+                worker.worker_id, second["unit"], "boom", transient=True
+            )
+            results = await asyncio.gather(*(f for f, _s in entries))
+            assert len(worker.assignments()) == 2
+            await scheduler.close()
+            return results
+
+        assert run_async(scenario()) == ["result-1"]
+        requeues = [
+            record
+            for record in events.tail(200)
+            if record["event"] == "requeue"
+        ]
+        assert [r["forced_local"] for r in requeues] == [False, True]
+
+    def test_deterministic_error_fails_points_without_requeue(self):
+        events = EventLog()
+
+        async def scenario():
+            scheduler = Scheduler(jobs=1, events=events, runner=None)
+            scheduler.start()
+            worker = FakeWorker(scheduler, "alpha")
+            entries = scheduler.submit("alice", make_points(1))
+            await until(lambda: len(worker.assignments()) == 1)
+            message = worker.assignments()[0]
+            assert scheduler.worker_error(
+                worker.worker_id,
+                message["unit"],
+                "sim assertion",
+                transient=False,
+            )
+            with pytest.raises(PointExecutionError, match="sim assertion"):
+                await entries[0][0]
+            await scheduler.close()
+
+        run_async(scenario())
+        assert events.counts["requeue"] == 0
+        assert events.counts["failed"] == 1
+
+    def test_quarantine_after_repeated_incidents(self):
+        events = EventLog()
+
+        def runner(points):
+            return ["result-%d" % p.seed for p in points]
+
+        async def scenario():
+            scheduler = Scheduler(jobs=1, events=events, runner=runner)
+            scheduler.start()
+            worker = FakeWorker(scheduler, "alpha")
+            for seed in (1, 2, 3):
+                entries = scheduler.submit("alice", make_points(seed))
+                await until(lambda: len(worker.assignments()) >= 1)
+                message = worker.assignments()[-1]
+                worker.inbox.clear()
+                # Two transient strikes per unit exhausts its fleet
+                # eligibility; each strike is a breaker incident.
+                scheduler.worker_error(
+                    worker.worker_id, message["unit"], "boom", transient=True
+                )
+                if events.counts.get("worker_quarantine"):
+                    await asyncio.gather(*(f for f, _s in entries))
+                    break
+                await until(lambda: len(worker.assignments()) >= 1)
+                message = worker.assignments()[-1]
+                worker.inbox.clear()
+                scheduler.worker_error(
+                    worker.worker_id, message["unit"], "boom", transient=True
+                )
+                await asyncio.gather(*(f for f, _s in entries))
+            await scheduler.close()
+
+        run_async(scenario())
+        assert events.counts["worker_quarantine"] >= 1
+
+    def test_heartbeat_keeps_lease_alive(self):
+        events = EventLog()
+
+        async def scenario():
+            scheduler = Scheduler(jobs=1, events=events, lease=0.3)
+            scheduler.start()
+            worker = FakeWorker(scheduler, "alpha")
+            for _ in range(10):
+                await asyncio.sleep(0.08)
+                assert scheduler.worker_heartbeat(worker.worker_id)
+            assert scheduler.hosts.get(worker.worker_id) is not None
+            await scheduler.close()
+
+        run_async(scenario())
+        assert events.counts["worker_expired"] == 0
+
+
+class TestStatus:
+    def test_status_reports_fleet(self):
+        async def scenario():
+            scheduler = Scheduler(jobs=1, runner=lambda pts: [0] * len(pts))
+            scheduler.start()
+            FakeWorker(scheduler, "alpha", slots=3)
+            status = scheduler.status()
+            await scheduler.close()
+            return status
+
+        status = run_async(scenario())
+        assert status["workers"]["live"] == 1
+        assert status["workers"]["hosts"][0]["capacity"] == 3

@@ -1,0 +1,188 @@
+"""HostTable unit tests: leases, placement ranking, circuit breaker.
+
+Pure-bookkeeping tests with an injected fake clock — every liveness and
+breaker transition is asserted without sockets, sleeps, or an event
+loop.
+"""
+
+import json
+
+from repro.service.placement import (
+    FAILURE_THRESHOLD,
+    MAX_PROBE_BACKOFF,
+    PROBE_BACKOFF,
+    HostTable,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def make_table(lease=10.0, **kwargs):
+    clock = FakeClock()
+    return HostTable(lease=lease, clock=clock, **kwargs), clock
+
+
+class TestLease:
+    def test_register_grants_lease_and_unique_ids(self):
+        table, clock = make_table()
+        a = table.register("alpha")
+        b = table.register("alpha")
+        assert a.worker_id != b.worker_id
+        assert a.name == b.name == "alpha"
+        assert a.lease_deadline == clock.now + 10.0
+        assert table.live_count() == 2
+
+    def test_heartbeat_renews_expiry_removes(self):
+        table, clock = make_table(lease=10.0)
+        host = table.register("alpha")
+        clock.advance(8.0)
+        assert table.heartbeat(host.worker_id)
+        clock.advance(8.0)  # t=16, deadline renewed to 18
+        assert table.expire() == []
+        clock.advance(3.0)  # t=19 > 18
+        expired = table.expire()
+        assert [h.worker_id for h in expired] == [host.worker_id]
+        # The zombie's id answers nothing from now on.
+        assert table.get(host.worker_id) is None
+        assert not table.heartbeat(host.worker_id)
+
+    def test_lost_removes_immediately(self):
+        table, _clock = make_table()
+        host = table.register("alpha")
+        assert table.lost(host.worker_id) is host
+        assert table.lost(host.worker_id) is None
+        assert table.live_count() == 0
+
+
+class TestPlacement:
+    def test_least_loaded_wins(self):
+        table, _clock = make_table()
+        a = table.register("a", {"slots": 4})
+        b = table.register("b", {"slots": 4})
+        table.assign(a, "u1", trace="t1")
+        assert table.place("t2") is b
+
+    def test_same_trace_affinity_beats_load(self):
+        table, _clock = make_table()
+        a = table.register("a", {"slots": 4})
+        b = table.register("b", {"slots": 4})
+        table.assign(a, "u1", trace="hot")
+        table.release(a, "u1")
+        table.assign(a, "u2", trace="hot")
+        # a is busier but replayed this trace; b is idle and cold.
+        assert table.place("hot") is a
+        assert table.place("cold") is b
+
+    def test_capacity_is_respected(self):
+        table, _clock = make_table()
+        a = table.register("a", {"slots": 1})
+        table.assign(a, "u1", trace="t")
+        assert table.place("t") is None
+        assert not table.placeable()
+        table.release(a, "u1")
+        assert table.place("t") is a
+        assert table.placeable()
+
+    def test_registration_order_breaks_ties(self):
+        table, _clock = make_table()
+        a = table.register("a")
+        table.register("b")
+        assert table.place("t") is a
+
+    def test_bad_slots_capability_defaults_to_one(self):
+        table, _clock = make_table()
+        host = table.register("a", {"slots": "many"})
+        assert host.capacity == 1
+
+
+class TestBreaker:
+    def test_quarantine_after_threshold(self):
+        table, _clock = make_table()
+        table.register("a")
+        for i in range(FAILURE_THRESHOLD - 1):
+            assert not table.record_failure("a")
+        assert table.record_failure("a")  # tripped
+        assert table.place("t") is None
+        assert not table.placeable()
+
+    def test_probe_after_cooldown_single_probe_half_open(self):
+        table, clock = make_table()
+        host = table.register("a")
+        for _ in range(FAILURE_THRESHOLD):
+            table.record_failure("a")
+        health = table.health("a")
+        assert not health.admits(clock())
+        clock.advance(PROBE_BACKOFF + 0.01)
+        # Cool-down over: exactly one probe unit is admitted.
+        assert table.place("t") is host
+        table.assign(host, "probe", trace="t")
+        assert health.probing
+        table.release(host, "probe")
+        assert table.place("t") is None  # half-open: no second unit
+
+    def test_probe_success_closes_breaker(self):
+        table, clock = make_table()
+        table.register("a")
+        for _ in range(FAILURE_THRESHOLD):
+            table.record_failure("a")
+        clock.advance(PROBE_BACKOFF + 0.01)
+        table.record_success("a")
+        health = table.health("a")
+        assert health.failures == 0
+        assert health.quarantined_until is None
+        assert health.backoff == PROBE_BACKOFF
+        assert health.admits(clock())
+
+    def test_probe_failure_doubles_backoff_capped(self):
+        table, clock = make_table()
+        table.register("a")
+        backoff = PROBE_BACKOFF
+        for _ in range(FAILURE_THRESHOLD):
+            table.record_failure("a")
+        for _ in range(12):
+            health = table.health("a")
+            assert health.quarantined_until == clock() + backoff
+            backoff = min(backoff * 2.0, MAX_PROBE_BACKOFF)
+            clock.advance(health.backoff + 0.01)
+            table.record_failure("a")
+        assert table.health("a").backoff == MAX_PROBE_BACKOFF
+
+    def test_health_survives_reconnect(self):
+        table, _clock = make_table()
+        host = table.register("a")
+        for _ in range(FAILURE_THRESHOLD):
+            table.record_failure("a")
+        table.lost(host.worker_id)
+        table.register("a")  # same name, new connection
+        assert table.place("t") is None  # still quarantined
+
+    def test_one_incident_per_death_not_per_unit(self):
+        # record_failure counts incidents; a host dying with 5 units is
+        # one incident (the scheduler calls it once per death event).
+        table, _clock = make_table()
+        table.register("a")
+        assert not table.record_failure("a")
+        assert table.health("a").failures == 1
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_safe(self):
+        table, clock = make_table()
+        host = table.register("a", {"slots": 2})
+        table.assign(host, "u1", trace=("gcc",))
+        snap = table.snapshot()
+        text = json.dumps(snap)
+        assert "a#1" in text
+        assert snap["live"] == 1
+        assert snap["hosts"][0]["load"] == 1
+        clock.advance(3.0)
+        assert table.snapshot()["hosts"][0]["lease_remaining"] == 7.0

@@ -1,0 +1,125 @@
+"""Worker end-to-end tests: a real daemon, a real socket, a real fleet.
+
+An in-process :class:`SweepWorker` (execution injected for speed and
+determinism) dials a ``repro serve`` subprocess and serves units. The
+acceptance properties: units route to the fleet when a worker is live,
+a failing worker's units fail over to the daemon's local pool and still
+come back bit-identical to serial, and the daemon's event log records
+the fleet's life cycle.
+"""
+
+import threading
+import time
+
+import pytest
+
+from service.test_service import Daemon, fingerprint, make_points
+from repro.fault.chaos import ChaosPlan
+from repro.service.events import executions_per_digest, read_events
+from repro.service.worker import SweepWorker
+from repro.sim.parallel import WorkerCrashError, run_points
+
+
+@pytest.fixture
+def daemon():
+    daemon = Daemon(jobs=1).start()
+    yield daemon
+    daemon.cleanup()
+
+
+def start_worker(daemon, runner, name="w1", slots=2):
+    worker = SweepWorker(
+        name=name,
+        socket_path=daemon.socket,
+        slots=slots,
+        runner=runner,
+        chaos=ChaosPlan(),  # never inherit chaos from the environment
+        reconnect_delay=0.1,
+    )
+    thread = threading.Thread(target=worker.run, daemon=True)
+    thread.start()
+    return worker, thread
+
+
+def wait_for_fleet(daemon, live=1, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        with daemon.client() as client:
+            status = client.status()
+        if status["workers"]["live"] >= live:
+            return status
+        time.sleep(0.05)
+    raise AssertionError("fleet never reached %d live worker(s)" % live)
+
+
+class TestWorkerEndToEnd:
+    def test_units_route_to_the_fleet(self, daemon):
+        executed = []
+
+        def runner(points, env):
+            executed.append((len(points), env))
+            return ["w-%d" % p.seed for p in points]
+
+        worker, thread = start_worker(daemon, runner)
+        try:
+            wait_for_fleet(daemon)
+            points = make_points(1, 2)
+            with daemon.client() as client:
+                results = client.submit_points(points)
+            assert results == ["w-1", "w-2"]
+            # Distinct seeds are distinct traces: two units, both remote.
+            assert len(executed) == 2
+            records = read_events(daemon.events_path)
+            assert any(r["event"] == "worker_register" for r in records)
+            assert sum(1 for r in records if r["event"] == "assign") == 2
+            done_workers = {
+                r.get("worker")
+                for r in records
+                if r["event"] == "done" and r.get("digest")
+            }
+            assert done_workers == {"w1#1"}
+        finally:
+            worker.stop()
+            thread.join(timeout=10)
+
+    def test_failing_worker_fails_over_to_local_pool(self, daemon):
+        points = make_points(5)
+        serial = [fingerprint(r) for r in run_points(points)]
+
+        def runner(_points, _env):
+            raise WorkerCrashError("injected fleet-side crash")
+
+        worker, thread = start_worker(daemon, runner)
+        try:
+            wait_for_fleet(daemon)
+            with daemon.client() as client:
+                results = client.submit_points(points)
+            # Two fleet strikes, then the local pool ran it for real —
+            # bit-identical to serial.
+            assert [fingerprint(r) for r in results] == serial
+            records = read_events(daemon.events_path)
+            requeues = [r for r in records if r["event"] == "requeue"]
+            assert len(requeues) == 2
+            assert requeues[-1]["forced_local"]
+            counts = executions_per_digest(records)
+            assert set(counts.values()) == {1}
+        finally:
+            worker.stop()
+            thread.join(timeout=10)
+
+    def test_worker_survives_daemon_restart(self, daemon):
+        def runner(points, env):
+            return ["w-%d" % p.seed for p in points]
+
+        worker, thread = start_worker(daemon, runner)
+        try:
+            wait_for_fleet(daemon)
+            daemon.kill()
+            daemon.start()
+            # The worker reconnects and re-registers by itself.
+            wait_for_fleet(daemon)
+            with daemon.client() as client:
+                assert client.submit_points(make_points(9)) == ["w-9"]
+        finally:
+            worker.stop()
+            thread.join(timeout=10)
