@@ -1,0 +1,107 @@
+"""Measure the horizon-batched multi-core loop and write BENCH_multicore.json.
+
+Runs the eight-core fig10 matrix (``perf_common.make_multicore_rows``:
+every Table V mix under picl plus journaling/thynvm variants of W2)
+with ``REPRO_VECTOR=0`` and ``=1`` strictly interleaved, keeping the
+fastest pass per mode, and writes
+``benchmarks/results/BENCH_multicore.json``.
+
+The committed JSON is the PR-acceptance artifact for the multi-core
+interpreter; the headline statistic is ``speedup_geomean`` in
+``overall`` (the summed-time ratio overweights the slowest mixes).
+``--check`` holds the geomean to a floor for local verification; CI
+instead consumes the per-row speedups through
+``check_perf_regression.py`` (warn-only), because absolute thresholds
+on shared runners flake while the interleaved ratio only drifts when
+the interpreter itself regresses.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/perf_multicore.py --passes 3
+    PYTHONPATH=src python benchmarks/perf_multicore.py --check
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+import perf_common  # noqa: E402
+
+RESULTS = os.path.join(
+    os.path.dirname(__file__), "results", "BENCH_multicore.json"
+)
+
+#: Floor for --check: the geometric mean of per-row speedups. The
+#: eight-core mixes run 74-78% L1 hit rates (shared-LLC
+#: back-invalidations), so the heap turns average only 2.5-4.3
+#: references and the batched loop's headroom is far below the
+#: single-core matrices' 1.6-1.7x — the committed artifact reads
+#: ~1.05x geomean. The floor therefore asserts no NET regression (the
+#: batched loop must never lose to the scalar heap loop overall), not
+#: a speedup target; see benchmarks/README.md for the breakdown.
+GEOMEAN_SPEEDUP = 1.0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--passes", type=int, default=3,
+        help="interleaved passes per row, best kept per mode (default 3)",
+    )
+    parser.add_argument(
+        "--output", default=RESULTS,
+        help="where to write BENCH_multicore.json",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit nonzero unless the per-row geomean reaches %.1fx"
+        % GEOMEAN_SPEEDUP,
+    )
+    args = parser.parse_args(argv)
+
+    # Time real simulation work, not result-cache reads.
+    os.environ.setdefault("REPRO_NO_CACHE", "1")
+
+    measurements, overall = perf_common.measure_multicore(passes=args.passes)
+    print("%-14s %12s %12s %9s" % (
+        "row", "scalar r/s", "batched r/s", "speedup"))
+    for m in measurements:
+        print("%-14s %12.0f %12.0f %8.2fx" % (
+            m["label"],
+            m["scalar_refs_per_sec"],
+            m["batched_refs_per_sec"],
+            m["speedup"],
+        ))
+    print("%-14s %12.0f %12.0f %8.2fx" % (
+        "overall",
+        overall["scalar_refs_per_sec"],
+        overall["batched_refs_per_sec"],
+        overall["speedup"],
+    ))
+    print("%-14s %34s %8.2fx" % ("geomean", "", overall["speedup_geomean"]))
+
+    perf_common.write_bench_json(
+        args.output,
+        perf_common.multicore_payload(
+            measurements,
+            overall,
+            note="%s; perf_multicore passes=%d"
+            % (perf_common.MULTICORE_PROTOCOL, args.passes),
+        ),
+    )
+    print("wrote %s" % args.output)
+
+    if args.check:
+        geomean = overall["speedup_geomean"]
+        if geomean < GEOMEAN_SPEEDUP:
+            print("FAIL: geomean %.2fx < %.1fx" % (geomean, GEOMEAN_SPEEDUP))
+            return 1
+        print("OK: geomean %.2fx >= %.1fx" % (geomean, GEOMEAN_SPEEDUP))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -129,15 +129,20 @@ class CacheHierarchy:
         # SetAssocCache, because only the shared level is ever ACS-scanned.
         self.llc.eid_index = EidIndex()
         # The columnar interpreter classifies whole epoch segments against a
-        # numpy mirror of the single core's L1 tags/EIDs (see
-        # repro.cache.vector_mirror); multi-core runs use the interleaved
-        # scalar loop and pay no mirror maintenance. REPRO_VECTOR=0 restores
-        # the scalar single-core loop and drops the mirror entirely.
-        if n_cores == 1 and os.environ.get("REPRO_VECTOR", "1") != "0":
-            l1 = self._l1[0]
-            l1._vec = L1TagMirror(
-                l1.n_sets, l1.assoc, l1._line_shift, l1._set_mask
-            )
+        # numpy mirror of each core's L1 tags/EIDs (see
+        # repro.cache.vector_mirror). L1s are private, so the mirror
+        # generalizes per core: the single-core loop reads core 0's, the
+        # horizon-batched multi-core loop reads the running core's.
+        # REPRO_VECTOR=0 drops every mirror and restores the scalar loops;
+        # REPRO_VECTOR_MC=0 drops them only for multi-core systems (the
+        # dedicated escape hatch the service layer pins on fleet workers).
+        if os.environ.get("REPRO_VECTOR", "1") != "0" and (
+            n_cores == 1 or os.environ.get("REPRO_VECTOR_MC", "1") != "0"
+        ):
+            for l1 in self._l1:
+                l1._vec = L1TagMirror(
+                    l1.n_sets, l1.assoc, l1._line_shift, l1._set_mask
+                )
             # The batched miss-chain engine's *profiling* mode additionally
             # mirrors L2/LLC tags+EIDs+dirty (LevelMirror) so residual
             # misses can be classified per level before mutation. Only
@@ -145,7 +150,8 @@ class CacheHierarchy:
             # dicts anyway, and an attached mirror taxes every inlined
             # fill/evict site with queue appends.
             if os.environ.get("REPRO_MISS_PROFILE", "0") == "1":
-                self._l2[0].attach_mirror()
+                for l2 in self._l2:
+                    l2.attach_mirror()
                 self.llc.attach_mirror()
         self.sink = EvictionSink(controller)
         #: Mirrors SetAssocCache._brute_scan: run the original full-sweep

@@ -1,0 +1,76 @@
+"""``REPRO_VECTOR_MC`` rides the engine-flag channel like its siblings.
+
+The multi-core sub-switch gates the horizon-batched N-core interpreter
+(``Simulation._run_multi_core_vector``) underneath ``REPRO_VECTOR``; it
+is read when the simulation runs, in the worker process. These tests
+pin that the flag is a first-class member of :data:`ENGINE_FLAGS` —
+captured from the submitting client, shipped with the batch, applied
+authoritatively in the isolated child, and scrubbed when the client
+left it unset — so pinning ``REPRO_VECTOR_MC=0`` to bisect a suspected
+multi-core interpreter bug keeps meaning something on the service.
+"""
+
+import dataclasses
+import os
+
+from repro.service import protocol
+from repro.sim.config import SystemConfig
+from repro.sim.parallel import (
+    ENGINE_FLAGS,
+    RunPoint,
+    apply_engine_env,
+    engine_env,
+    execute_batch_with_retry,
+)
+
+CONFIG = SystemConfig().scaled(512)
+N = CONFIG.epoch_instructions
+
+
+@dataclasses.dataclass(frozen=True)
+class EnvProbePoint(RunPoint):
+    """Runs no simulation; reports the engine flags its process sees."""
+
+    def execute(self):
+        return {name: os.environ.get(name) for name in ENGINE_FLAGS}
+
+
+def test_mc_switch_is_an_engine_flag():
+    assert "REPRO_VECTOR_MC" in ENGINE_FLAGS
+
+
+def test_capture_picks_up_the_mc_switch(monkeypatch):
+    for name in ENGINE_FLAGS:
+        monkeypatch.delenv(name, raising=False)
+    monkeypatch.setenv("REPRO_VECTOR_MC", "0")
+    assert engine_env() == {"REPRO_VECTOR_MC": "0"}
+
+
+def test_apply_pins_and_scrubs_the_mc_switch(monkeypatch):
+    # Register with monkeypatch first so the mutation is undone.
+    monkeypatch.setenv("REPRO_VECTOR_MC", "sentinel")
+    monkeypatch.setenv("REPRO_VECTOR", "1")
+    apply_engine_env({"REPRO_VECTOR_MC": "0"})
+    assert os.environ.get("REPRO_VECTOR_MC") == "0"
+    # The capture is authoritative: unset siblings are scrubbed.
+    assert "REPRO_VECTOR" not in os.environ
+
+
+def test_protocol_round_trips_the_mc_switch():
+    point = EnvProbePoint(CONFIG, "picl", ("gcc",), N, 11)
+    message = protocol.submit_points(
+        "b1", [point], env={"REPRO_VECTOR_MC": "0"}
+    )
+    decoded = protocol.loads(protocol.dumps(message))
+    assert decoded["env"] == {"REPRO_VECTOR_MC": "0"}
+
+
+def test_child_sees_the_submitted_mc_switch(monkeypatch):
+    # The daemon's environment says batched; the client pinned scalar.
+    monkeypatch.setenv("REPRO_VECTOR_MC", "1")
+    point = EnvProbePoint(CONFIG, "picl", ("gcc",), N, 12)
+    (seen,) = execute_batch_with_retry(
+        [point], env={"REPRO_VECTOR_MC": "0"}
+    )
+    assert seen["REPRO_VECTOR_MC"] == "0"
+    assert seen["REPRO_VECTOR"] is None

@@ -1,0 +1,223 @@
+"""Bit-identity of the horizon-batched multi-core interpreter.
+
+``_run_multi_core_vector`` replaces the scalar heap loop (pop the
+earliest-clock core, advance it one reference, push it back) with
+horizon-bounded turns: the popped core advances through classified
+windows, bulk-applied all-fast prefixes, and persistent per-core
+miss-chain drains until its clock crosses the smallest other heap key.
+Token order, the shared-LLC coupling, and the ``total_instructions``
+epoch accounting are all constrained to match the scalar loop exactly —
+so this file drives both interpreters (``REPRO_VECTOR=0`` vs the
+default) over the same multi-core points and asserts exact equality of
+every observable, the same contract ``test_vectorized.py`` pins for the
+single-core columnar loop.
+
+The matrix crosses the axes that stress the multi-core-specific
+machinery: core counts (turn lengths shrink as the heap fills),
+``shared_memory`` (cross-core stores force mirror invalidations through
+the ``removed`` log while a core is off-turn), every scheme (the three
+store-filter contracts), and crashes — both instruction-count stops
+(which land mid-turn inside bulk spans and parked drain generators) and
+semantic-site plans through full recovery. A hypothesis fuzz then walks
+the product space so untested corners of (cores, sharing, scheme,
+crash mode, seed) still get coverage.
+"""
+
+import dataclasses
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fault.plan import SEMANTIC_SITES, CrashPlan
+from repro.sim.config import SystemConfig
+from repro.sim.simulator import Simulation
+
+SCHEMES = ("ideal", "journaling", "shadow", "frm", "thynvm", "picl")
+
+#: Per-core benchmarks, sliced/rotated to the core count: miss-heavy
+#: (gcc, mcf, astar), hit-dominated (hmmer), and run-structured
+#: (lbm, h264ref) traces so neighbouring cores drift apart and the heap
+#: order changes constantly.
+BENCHES = ("gcc", "mcf", "hmmer", "lbm", "astar", "h264ref", "gcc", "mcf")
+
+N = 30_000  # per core; a couple of scheduled epochs at scale 256
+
+
+def small_config(n_cores, **overrides):
+    defaults = dict(track_reference=True, reference_depth=32, n_cores=n_cores)
+    defaults.update(overrides)
+    return SystemConfig().scaled(256, **defaults)
+
+
+def benchlist(n_cores, rotate=0):
+    ring = BENCHES[rotate:] + BENCHES[:rotate]
+    return list(ring[:n_cores])
+
+
+def run_mode(vector, config, scheme, benches, n, seed, shared_memory=False,
+             crash_at=None, crash_plan=None):
+    """Run one multi-core simulation with the batched interpreter on or off.
+
+    Same environment discipline as the single-core bit-identity tests:
+    ``REPRO_VECTOR`` is read when the hierarchy is built, so it is pinned
+    around construction and restored immediately, and the gate is
+    asserted on every private L1 so the test can never compare the
+    scalar heap loop against itself.
+    """
+    previous = os.environ.get("REPRO_VECTOR")
+    os.environ["REPRO_VECTOR"] = "1" if vector else "0"
+    try:
+        sim = Simulation(
+            config, scheme, benches, n, seed=seed, shared_memory=shared_memory
+        )
+    finally:
+        if previous is None:
+            del os.environ["REPRO_VECTOR"]
+        else:
+            os.environ["REPRO_VECTOR"] = previous
+    assert all((l1._vec is not None) == vector for l1 in sim.hierarchy._l1)
+    sim.run(crash_at_instructions=crash_at, crash_plan=crash_plan)
+    return sim
+
+
+def assert_identical(scalar, batched):
+    """Every observable of the two simulations must match exactly."""
+    a, b = scalar.result(), batched.result()
+    assert a.cycles == b.cycles
+    assert a.instructions == b.instructions
+    assert a.per_core_cycles == b.per_core_cycles
+    for ca, cb in zip(scalar.cores, batched.cores):
+        assert ca.mem_stall_cycles == cb.mem_stall_cycles
+        assert ca.instructions == cb.instructions
+    assert scalar.system._next_token == batched.system._next_token
+    assert scalar.system.arch_image == batched.system.arch_image
+    assert scalar.stats.snapshot() == batched.stats.snapshot()
+
+
+def assert_identical_recovery(scalar, batched):
+    image_a, commit_a, ref_a = scalar.crash_and_recover()
+    image_b, commit_b, ref_b = batched.crash_and_recover()
+    assert commit_a == commit_b
+    assert image_a == image_b
+    assert ref_a == ref_b
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("n_cores", (2, 4, 8))
+    @pytest.mark.parametrize("shared", (False, True))
+    def test_core_counts_and_sharing(self, n_cores, shared):
+        config = small_config(n_cores)
+        benches = benchlist(n_cores)
+        scalar = run_mode(False, config, "picl", benches, N, 11,
+                          shared_memory=shared)
+        batched = run_mode(True, config, "picl", benches, N, 11,
+                           shared_memory=shared)
+        assert_identical(scalar, batched)
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_all_schemes(self, scheme):
+        # Four cores, disjoint spaces: every vector_store_filter contract
+        # (always-fast, never-fast, EID-conditional) under heap turns.
+        config = small_config(4)
+        benches = benchlist(4, rotate=1)
+        scalar = run_mode(False, config, scheme, benches, N, 23)
+        batched = run_mode(True, config, scheme, benches, N, 23)
+        assert_identical(scalar, batched)
+
+    def test_sub_block_granularity(self):
+        # 16 B tracking declines every store through picl's filter, so
+        # the batched loop can only bulk loads; stores all go residual.
+        config = small_config(2)
+        config = dataclasses.replace(
+            config, picl=dataclasses.replace(config.picl, tracking_granularity=16)
+        )
+        scalar = run_mode(False, config, "picl", benchlist(2), N, 31)
+        batched = run_mode(True, config, "picl", benchlist(2), N, 31)
+        assert_identical(scalar, batched)
+
+
+class TestCrashIdentity:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_instruction_crash_and_recovery(self, scheme):
+        # crash_at counts TOTAL instructions across cores, so the stop
+        # lands mid-turn — inside bulk spans and parked drain
+        # generators, whose partial effects must flush identically.
+        config = small_config(4)
+        benches = benchlist(4)
+        crash_at = (N * 4) // 2 + 137  # mid-epoch, not on a boundary
+        scalar = run_mode(False, config, scheme, benches, N, 43,
+                          crash_at=crash_at)
+        batched = run_mode(True, config, scheme, benches, N, 43,
+                           crash_at=crash_at)
+        assert scalar.crashed and batched.crashed
+        assert_identical(scalar, batched)
+        assert_identical_recovery(scalar, batched)
+
+    @pytest.mark.parametrize("site", SEMANTIC_SITES)
+    def test_site_crash_and_recovery(self, site):
+        # Site plans power-fail from inside the component that owns the
+        # site; both interpreters must reach the same occurrence at the
+        # same machine state. undo_flush also tears the burst so only a
+        # prefix of the log entries lands.
+        config = small_config(2)
+        benches = benchlist(2, rotate=2)
+        tear = 1 if site == "undo_flush" else None
+        occurrence = 5
+        plan_a = CrashPlan.on_event(site, occurrence=occurrence, tear_entries=tear)
+        plan_b = CrashPlan.on_event(site, occurrence=occurrence, tear_entries=tear)
+        scalar = run_mode(False, config, "picl", benches, N, 53,
+                          crash_plan=plan_a)
+        batched = run_mode(True, config, "picl", benches, N, 53,
+                           crash_plan=plan_b)
+        assert plan_a.fired == plan_b.fired
+        assert scalar.crashed == batched.crashed
+        assert scalar.crash_site == batched.crash_site
+        assert_identical(scalar, batched)
+        if scalar.crashed:
+            assert_identical_recovery(scalar, batched)
+
+
+class TestFuzz:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        n_cores=st.sampled_from((2, 4, 8)),
+        shared=st.booleans(),
+        scheme=st.sampled_from(SCHEMES),
+        rotate=st.integers(0, len(BENCHES) - 1),
+        seed=st.integers(0, 2**20),
+        crash=st.one_of(
+            st.none(),
+            st.floats(0.2, 0.9),  # crash fraction of the total run
+            st.sampled_from(SEMANTIC_SITES),
+        ),
+    )
+    def test_random_points_identical(self, n_cores, shared, scheme, rotate,
+                                     seed, crash):
+        # Keep the fuzz affordable: fewer per-core references than the
+        # curated matrix, but the full product space of knobs.
+        n = 12_000
+        config = small_config(n_cores)
+        benches = benchlist(n_cores, rotate)
+        crash_at = None
+        plans = [None, None]
+        if isinstance(crash, float):
+            crash_at = int(n * n_cores * crash)
+        elif crash is not None:
+            plans = [CrashPlan.on_event(crash, occurrence=3,
+                                        tear_entries=1 if crash == "undo_flush"
+                                        else None)
+                     for _ in range(2)]
+        scalar = run_mode(False, config, scheme, benches, n, seed,
+                          shared_memory=shared, crash_at=crash_at,
+                          crash_plan=plans[0])
+        batched = run_mode(True, config, scheme, benches, n, seed,
+                           shared_memory=shared, crash_at=crash_at,
+                           crash_plan=plans[1])
+        if plans[0] is not None:
+            assert plans[0].fired == plans[1].fired
+        assert scalar.crashed == batched.crashed
+        assert scalar.crash_site == batched.crash_site
+        assert_identical(scalar, batched)
+        if scalar.crashed:
+            assert_identical_recovery(scalar, batched)

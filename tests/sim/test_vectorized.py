@@ -151,9 +151,27 @@ class TestGate:
         sim = Simulation(small_config(), "ideal", ["gcc"], 1_000, seed=1)
         assert sim.hierarchy._l1[0]._vec is None
 
-    def test_multi_core_stays_scalar(self):
-        # The columnar interpreter models exactly one in-order core; the
-        # round-robin multi-core loop must never see a mirror.
+    def test_multi_core_mirrors_attached_by_default(self):
+        # The horizon-batched multi-core loop classifies each core's
+        # lookahead against its own private-L1 mirror.
+        config = dataclasses.replace(small_config(), n_cores=2)
+        sim = Simulation(config, "ideal", ["gcc", "mcf"], 1_000, seed=1)
+        assert all(l1._vec is not None for l1 in sim.hierarchy._l1)
+
+    def test_multi_core_sub_switch_restores_scalar(self, monkeypatch):
+        # REPRO_VECTOR_MC=0 pins the heap loop to the scalar body while
+        # leaving single-core rows columnar — the bisect switch for
+        # suspected multi-core interpreter bugs.
+        monkeypatch.setenv("REPRO_VECTOR_MC", "0")
+        config = dataclasses.replace(small_config(), n_cores=2)
+        sim = Simulation(config, "ideal", ["gcc", "mcf"], 1_000, seed=1)
+        assert all(l1._vec is None for l1 in sim.hierarchy._l1)
+        single = Simulation(small_config(), "ideal", ["gcc"], 1_000, seed=1)
+        assert single.hierarchy._l1[0]._vec is not None
+
+    def test_multi_core_master_switch_wins(self, monkeypatch):
+        # REPRO_VECTOR=0 disables every interpreter, multi-core included.
+        monkeypatch.setenv("REPRO_VECTOR", "0")
         config = dataclasses.replace(small_config(), n_cores=2)
         sim = Simulation(config, "ideal", ["gcc", "mcf"], 1_000, seed=1)
         assert all(l1._vec is None for l1 in sim.hierarchy._l1)
